@@ -1,0 +1,60 @@
+"""Fig 1 — validation matrices vs their friends, with roofline markers.
+
+For each device: per-matrix best performance, the friend range, and the
+DRAM/LLC roofline bounds computed from the matrix's CSR footprint (the
+paper's ---triangle--- / ---X--- marker series).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.devices import TESTBEDS, roofline_bounds
+
+from conftest import emit
+
+SHOWN_DEVICES = ("AMD-EPYC-64", "Tesla-A100", "Alveo-U280")
+
+
+def _fig1(validation_results):
+    sections = []
+    near_roofline_frac = {}
+    for dev_name in SHOWN_DEVICES:
+        dev = TESTBEDS[dev_name]
+        per_matrix = validation_results[dev_name]
+        rows = []
+        near = 0
+        for mid in sorted(per_matrix):
+            base, friends, inst = per_matrix[mid]
+            f = inst.features
+            rp = roofline_bounds(dev, f.nnz, f.n_rows, f.n_cols)
+            rows.append([
+                mid, inst.name[:18], round(base, 2),
+                round(float(np.min(friends)), 2),
+                round(float(np.median(friends)), 2),
+                round(float(np.max(friends)), 2),
+                round(rp.memory_bound_gflops, 2),
+                round(rp.llc_bound_gflops, 2),
+            ])
+            if base >= 0.25 * rp.memory_bound_gflops:
+                near += 1
+        near_roofline_frac[dev_name] = near / max(len(per_matrix), 1)
+        sections.append(format_table(
+            ["id", "matrix", "GFLOPS", "friends min", "friends med",
+             "friends max", "roofline mem", "roofline LLC"],
+            rows, title=f"Fig 1 panel: {dev_name} "
+                        f"({len(per_matrix)}/45 matrices ran)",
+        ))
+    return "\n\n".join(sections), near_roofline_frac
+
+
+def test_fig1_validation_roofline(benchmark, validation_results):
+    text, near_frac = _fig1(validation_results)
+    benchmark(lambda: _fig1(validation_results))
+    emit("fig1_validation_roofline", text)
+    # Paper: "many validation and friend matrices are close to their
+    # corresponding roofline bound".
+    assert near_frac["AMD-EPYC-64"] > 0.5
+    assert near_frac["Tesla-A100"] > 0.5
+    # Paper: ~10 of the 45 matrices fail on the FPGA (HBM capacity).
+    fpga_ran = len(validation_results["Alveo-U280"])
+    assert 20 <= fpga_ran <= 44

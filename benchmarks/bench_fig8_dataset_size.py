@@ -1,0 +1,61 @@
+"""Fig 8 — stability of the performance picture across dataset sizes.
+
+The paper compares 3K/16K/27K-matrix datasets on the AMD-EPYC-24 and finds
+the medium dataset sufficient: enlarging it does not change the trend.  We
+compare our tiny/small/medium presets the same way (same feature-space
+limits, denser sampling) and assert the per-footprint-bin medians agree.
+"""
+
+from repro.analysis import bin_by, box_stats, format_table
+from repro.core.dataset import Dataset, sweep
+from repro.core.feature_space import build_dataset_specs
+from repro.devices import TESTBEDS
+
+from conftest import MAX_NNZ, emit
+
+EDGES = [32.0, 512.0]
+SCALES = ("tiny", "small")  # 'medium' via REPRO_SCALE on bigger budgets
+
+
+def _per_scale_medians():
+    dev = TESTBEDS["AMD-EPYC-24"]
+    out = {}
+    for scale in SCALES:
+        ds = Dataset(build_dataset_specs(scale), max_nnz=MAX_NNZ,
+                     name=scale)
+        table = sweep(ds, [dev], best_only=True)
+        bins = bin_by(table.rows, "req_footprint_mb", EDGES)
+        out[scale] = {
+            label: box_stats(v) for label, v in bins.items() if v
+        }
+    return out
+
+
+def test_fig8_dataset_size(benchmark):
+    per_scale = _per_scale_medians()
+
+    def _analyse():
+        rows = []
+        for scale, bins in per_scale.items():
+            for label, s in bins.items():
+                rows.append([scale, label, s.n, round(s.q1, 1),
+                             round(s.median, 1), round(s.q3, 1)])
+        return rows
+
+    rows = benchmark(_analyse)
+    emit(
+        "fig8_dataset_size",
+        format_table(
+            ["dataset", "footprint bin MB", "n", "q1", "median", "q3"],
+            rows,
+            title="Fig 8: AMD-EPYC-24 performance vs dataset size (GFLOPS)",
+        ),
+    )
+
+    # The trend must be scale-invariant: per-bin medians of consecutive
+    # dataset sizes agree within 40% (the paper's visual criterion).
+    small, big = (per_scale[s] for s in SCALES)
+    for label in small:
+        if label in big:
+            a, b = small[label].median, big[label].median
+            assert abs(a - b) / max(a, b) < 0.4, label

@@ -1,0 +1,55 @@
+"""Host-kernel microbenchmarks (pytest-benchmark proper).
+
+Times the actual NumPy SpMV kernels of every storage format on one
+mid-sized matrix — the measurement layer a user runs on their own machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import artificial_matrix_generation
+from repro.formats import FORMAT_REGISTRY, FormatError
+from repro.kernels import make_x
+
+MAT = artificial_matrix_generation(
+    20_000, 20_000, 20, skew_coeff=5, cross_row_sim=0.6, avg_num_neigh=1.2,
+    seed=42,
+)
+X = make_x(MAT.n_cols, seed=0)
+REFERENCE = MAT.spmv(X)
+
+KERNEL_FORMATS = [
+    "Naive-CSR", "COO", "CSR5", "Merge-CSR", "SparseX", "SELL-C-s",
+    "HYB", "ELL", "BCSR", "VSL",
+]
+
+
+@pytest.mark.parametrize("fmt_name", KERNEL_FORMATS)
+def test_kernel_throughput(benchmark, fmt_name):
+    try:
+        fmt = FORMAT_REGISTRY[fmt_name].from_csr(MAT)
+    except FormatError:
+        pytest.skip(f"{fmt_name} refuses this matrix")
+    y = benchmark(fmt.spmv, X)
+    np.testing.assert_allclose(y, REFERENCE, rtol=1e-9, atol=1e-9)
+    benchmark.extra_info["nnz"] = MAT.nnz
+    benchmark.extra_info["gflops_per_sec_note"] = (
+        "2*nnz / mean_time gives host GFLOPS"
+    )
+
+
+def test_conversion_cost_csr_to_sell(benchmark):
+    benchmark(FORMAT_REGISTRY["SELL-C-s"].from_csr, MAT)
+
+
+def test_generator_throughput(benchmark):
+    benchmark(
+        artificial_matrix_generation,
+        20_000, 20_000, 20, 2.0, "normal", 100.0, 0.3, 0.5, 1.0, 7, "chain",
+    )
+
+
+def test_feature_extraction_throughput(benchmark):
+    from repro.core.features import extract_features
+
+    benchmark(extract_features, MAT)

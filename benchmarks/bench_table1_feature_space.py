@@ -1,0 +1,64 @@
+"""Table I — the feature space of the artificial dataset.
+
+Regenerates the grid definition and reports how faithfully a sample of
+generated matrices realises each requested feature coordinate.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.feature_space import TABLE_I_SPACE, build_dataset_specs
+from repro.core.features import extract_features
+
+from conftest import emit
+
+
+def _grid_table():
+    rows = [
+        ["f1 mem_footprint (MB)",
+         ", ".join(f"[{a:g}-{b:g}]" for a, b in TABLE_I_SPACE.footprint_bins)],
+        ["f2 avg_nz_row",
+         ", ".join(f"{v:g}" for v in TABLE_I_SPACE.avg_nnz_per_row)],
+        ["f3 skew_coeff",
+         ", ".join(f"{v:g}" for v in TABLE_I_SPACE.skew_coeff)],
+        ["f4.a cross_row_sim",
+         ", ".join(f"{v:g}" for v in TABLE_I_SPACE.cross_row_sim)],
+        ["f4.b avg_num_neigh",
+         ", ".join(f"{v:g}" for v in TABLE_I_SPACE.avg_num_neigh)],
+        ["(internal) bw_scaled",
+         ", ".join(f"{v:g}" for v in TABLE_I_SPACE.bw_scaled)],
+    ]
+    return format_table(["feature", "matrix space"], rows,
+                        title="Table I: features used for generation")
+
+
+def _fidelity_table(n=24):
+    specs = build_dataset_specs("tiny")[:n]
+    rows = []
+    for label, req_key, meas_key, tol in (
+        ("avg_nz_row", "avg_nnz_per_row", "avg_nnz_per_row", None),
+        ("cross_row_sim", "cross_row_sim", "cross_row_similarity", None),
+        ("avg_num_neigh", "avg_num_neigh", "avg_num_neighbours", None),
+    ):
+        errs = []
+        for spec in specs:
+            feats = extract_features(
+                spec.representative(60_000).build()
+            )
+            req = getattr(spec, req_key)
+            meas = getattr(feats, meas_key)
+            if req:
+                errs.append(abs(meas - req) / max(abs(req), 1e-9))
+        rows.append([label, float(np.mean(errs)) * 100.0,
+                     float(np.max(errs)) * 100.0])
+    return format_table(
+        ["requested feature", "mean |err| %", "max |err| %"], rows,
+        title=f"Generation fidelity over {n} grid points",
+    )
+
+
+def test_table1_feature_space(benchmark):
+    grid = _grid_table()
+    benchmark(_grid_table)
+    emit("table1_feature_space", grid + "\n\n" + _fidelity_table())
+    assert TABLE_I_SPACE.n_combinations() == 3240

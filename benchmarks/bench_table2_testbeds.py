@@ -1,0 +1,43 @@
+"""Table II — testbed characteristics and per-testbed format lists."""
+
+from repro.analysis import format_table
+from repro.devices import TESTBEDS, roofline_bounds
+
+from conftest import emit
+
+
+def _testbed_table():
+    rows = []
+    for dev in TESTBEDS.values():
+        rows.append([
+            dev.name, dev.device_class, dev.cores,
+            f"{dev.llc_mb:g}", f"{dev.llc_bw_gbs:g}",
+            f"{dev.dram_bw_gbs:g}", f"{dev.dram_gb:g}",
+            f"{dev.peak_gflops:g}", f"{dev.idle_w:g}-{dev.max_w:g}",
+            len(dev.formats),
+        ])
+    return format_table(
+        ["testbed", "class", "cores", "LLC MB", "LLC GB/s", "mem GB/s",
+         "mem GB", "peak GF", "power W", "#formats"],
+        rows, title="Table II: testbed characteristics",
+    )
+
+
+def _format_lists():
+    lines = ["Formats per testbed (Table II):"]
+    for dev in TESTBEDS.values():
+        lines.append(f"  {dev.name:12s} {', '.join(dev.formats)}")
+    return "\n".join(lines)
+
+
+def test_table2_testbeds(benchmark):
+    # The timed kernel: roofline evaluation across all devices.
+    def roofline_all():
+        return [
+            roofline_bounds(dev, 10**7, 10**5, 10**5).attainable_gflops
+            for dev in TESTBEDS.values()
+        ]
+
+    bounds = benchmark(roofline_all)
+    assert all(b > 0 for b in bounds)
+    emit("table2_testbeds", _testbed_table() + "\n\n" + _format_lists())

@@ -1,0 +1,67 @@
+"""Table IV — MAPE / APE-best of artificial friends vs validation matrices.
+
+Paper: MAPE 17.51% average (friend median vs validation matrix), APE-best
+8.58% (closest friend).  We regenerate both columns per device.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.validation import ape_best, mape
+
+from conftest import emit
+
+# Paper's Table IV, for side-by-side comparison in the emitted artefact.
+PAPER_TABLE4 = {
+    "Tesla-P100": (10.01, 4.57),
+    "Tesla-V100": (18.42, 10.15),
+    "Tesla-A100": (9.94, 5.19),
+    "AMD-EPYC-24": (20.04, 8.42),
+    "AMD-EPYC-64": (21.81, 6.39),
+    "ARM-NEON": (15.65, 4.41),
+    "INTEL-XEON": (16.49, 7.36),
+    "IBM-POWER9": (21.77, 14.11),
+    "Alveo-U280": (23.49, 16.63),
+}
+
+
+def _table4(validation_results):
+    rows = []
+    mapes, apes = [], []
+    for dev, per_matrix in validation_results.items():
+        if not per_matrix:
+            continue
+        refs, medians = [], []
+        ape_vals = []
+        for base, friends, _inst in per_matrix.values():
+            refs.append(base)
+            medians.append(float(np.median(friends)))
+            ape_vals.append(ape_best(base, friends))
+        dev_mape = mape(refs, medians)
+        dev_ape = float(np.mean(ape_vals))
+        mapes.append(dev_mape)
+        apes.append(dev_ape)
+        paper = PAPER_TABLE4.get(dev, (float("nan"), float("nan")))
+        rows.append([dev, round(dev_mape, 2), paper[0],
+                     round(dev_ape, 2), paper[1], len(per_matrix)])
+    rows.append([
+        "Average", round(float(np.mean(mapes)), 2), 17.51,
+        round(float(np.mean(apes)), 2), 8.58, "",
+    ])
+    table = format_table(
+        ["device", "MAPE %", "paper MAPE %", "APE-best %",
+         "paper APE-best %", "#matrices"],
+        rows, title="Table IV: friends vs validation matrices",
+    )
+    return table, float(np.mean(mapes)), float(np.mean(apes))
+
+
+def test_table4_validation_mape(benchmark, validation_results):
+    table, avg_mape, avg_ape = _table4(validation_results)
+    benchmark(lambda: _table4(validation_results))
+    emit("table4_validation_mape", table)
+    # Shape assertions: friends track their validation base (same order of
+    # magnitude as the paper's 17.5%/8.6%), and the closest friend is
+    # always a better predictor than the median friend.
+    assert avg_mape < 40.0
+    assert avg_ape < avg_mape

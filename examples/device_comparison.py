@@ -1,0 +1,76 @@
+"""Device comparison for a workload family: should this sparse solver run
+on a CPU, a GPU or the FPGA?
+
+Sweeps a user-defined feature neighbourhood (here: medium FEM-like
+matrices vs large graph-like matrices) over all nine testbeds and prints
+performance, energy-efficiency and the dominant bottleneck — the
+cross-device decision Fig 2 and Takeaways 2-4 inform.
+
+Run:  python examples/device_comparison.py
+"""
+
+from collections import defaultdict
+
+from repro import TESTBEDS, MatrixSpec, simulate_best
+from repro.analysis import box_stats, boxplot_panel, format_table
+from repro.perfmodel import MatrixInstance
+
+WORKLOADS = {
+    # FEM-style: medium, long clustered rows, balanced.
+    "fem-medium": [
+        MatrixSpec.from_footprint(
+            mb, 60, skew_coeff=2, cross_row_sim=0.8, avg_num_neigh=1.5,
+            seed=seed,
+        )
+        for seed, mb in enumerate((48, 96, 160, 224))
+    ],
+    # Graph-style: large, short scattered rows, heavy-tailed degrees.
+    "graph-large": [
+        MatrixSpec.from_footprint(
+            mb, 8, skew_coeff=2000, cross_row_sim=0.1, avg_num_neigh=0.2,
+            seed=100 + seed,
+        )
+        for seed, mb in enumerate((384, 512, 768, 1024))
+    ],
+}
+
+
+def main() -> None:
+    for workload, specs in WORKLOADS.items():
+        insts = [
+            MatrixInstance.from_spec(s, max_nnz=80_000,
+                                     name=f"{workload}-{i}")
+            for i, s in enumerate(specs)
+        ]
+        rows = []
+        gflops_per_dev = defaultdict(list)
+        for dev in TESTBEDS.values():
+            results = [simulate_best(inst, dev) for inst in insts]
+            ran = [r for r in results if r is not None]
+            if not ran:
+                rows.append([dev.name, "infeasible", "-", "-", "-"])
+                continue
+            for r in ran:
+                gflops_per_dev[dev.name].append(r.gflops)
+            s = box_stats([r.gflops for r in ran])
+            eff = box_stats([r.gflops_per_watt for r in ran])
+            bottlenecks = {r.bottleneck for r in ran}
+            rows.append([
+                dev.name, f"{len(ran)}/{len(insts)}",
+                round(s.median, 1), round(eff.median, 3),
+                ",".join(sorted(bottlenecks)),
+            ])
+        print(format_table(
+            ["device", "ran", "median GFLOPS", "median GFLOPS/W",
+             "bottlenecks"],
+            rows, title=f"\nWorkload: {workload}",
+        ))
+        panel = {
+            d: box_stats(v) for d, v in gflops_per_dev.items() if v
+        }
+        print()
+        print(boxplot_panel(panel, log=True))
+
+
+if __name__ == "__main__":
+    main()

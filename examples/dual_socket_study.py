@@ -1,0 +1,55 @@
+"""Dual-socket study — the paper's explicitly deferred question
+("shedding more light to multiple device execution behaviour (e.g. dual
+CPU/socket) is left for future work", Section IV).
+
+Compares single- vs dual-socket variants of the CPU testbeds across the
+footprint axis: the second socket helps out-of-cache matrices (bandwidth
+and aggregated LLC) but *hurts* energy efficiency for small matrices that
+cannot feed both sockets.
+
+Run:  python examples/dual_socket_study.py
+"""
+
+from repro import TESTBEDS, MatrixSpec
+from repro.analysis import format_table
+from repro.devices.scaling import scale_device
+from repro.perfmodel import MatrixInstance, simulate_best
+
+FOOTPRINTS_MB = (8, 64, 256, 512, 1024)
+CPUS = ("AMD-EPYC-24", "AMD-EPYC-64", "INTEL-XEON")
+
+
+def main() -> None:
+    insts = {
+        mb: MatrixInstance.from_spec(
+            MatrixSpec.from_footprint(
+                mb, 50, skew_coeff=2, cross_row_sim=0.6,
+                avg_num_neigh=1.2, seed=mb,
+            ),
+            max_nnz=80_000, name=f"dual-{mb}",
+        )
+        for mb in FOOTPRINTS_MB
+    }
+    for cpu in CPUS:
+        base = TESTBEDS[cpu]
+        dual = scale_device(base, sockets=2)
+        rows = []
+        for mb, inst in insts.items():
+            s = simulate_best(inst, base, noise_sigma=0.0)
+            d = simulate_best(inst, dual, noise_sigma=0.0)
+            rows.append([
+                mb, round(s.gflops, 1), round(d.gflops, 1),
+                round(d.gflops / s.gflops, 2),
+                round(s.gflops_per_watt, 3), round(d.gflops_per_watt, 3),
+            ])
+        print(format_table(
+            ["footprint MB", "1-socket GF", "2-socket GF", "speedup",
+             "1S GF/W", "2S GF/W"],
+            rows,
+            title=f"\n{cpu}: single vs dual socket "
+                  f"(LLC {base.llc_mb:g} -> {dual.llc_mb:g} MB)",
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Format selection study: train a feature-based predictor that picks the
+best storage format for a matrix on a chosen device — the application the
+paper's related work (SMAT, BestSF, ...) motivates.
+
+A small artificial dataset is swept per-format on one device; a
+random-forest regressor per format then predicts GFLOPS from the paper's
+five features, and format selection = argmax over predicted GFLOPS.
+Reports top-1 accuracy and the performance retained vs an oracle.
+
+Run:  python examples/format_selection.py [device]
+"""
+
+import sys
+from collections import defaultdict
+
+import numpy as np
+
+from repro import TESTBEDS
+from repro.analysis import format_table
+from repro.core.dataset import Dataset, sweep
+from repro.core.feature_space import build_dataset_specs
+from repro.ml import RandomForestRegressor, train_test_split
+
+FEATURES = [
+    "mem_footprint_mb", "avg_nnz_per_row", "skew_coeff",
+    "cross_row_similarity", "avg_num_neighbours",
+]
+
+
+def main(device_name: str = "AMD-EPYC-24") -> None:
+    device = TESTBEDS[device_name]
+    print(f"Sweeping the tiny artificial dataset on {device_name} "
+          f"({len(device.formats)} formats)...")
+    dataset = Dataset(
+        build_dataset_specs("tiny"), max_nnz=60_000, name="fmt-sel"
+    )
+    table = sweep(dataset, [device], best_only=False)
+
+    # Pivot: one row per matrix, per-format GFLOPS columns.
+    by_matrix = defaultdict(dict)
+    feats = {}
+    for r in table.rows:
+        by_matrix[r["matrix"]][r["format"]] = r["gflops"]
+        feats[r["matrix"]] = [np.log1p(abs(r[k])) for k in FEATURES]
+    matrices = sorted(by_matrix)
+    X = np.array([feats[m] for m in matrices])
+
+    # One regressor per format (formats can refuse matrices: missing
+    # entries are treated as zero-performance).
+    idx = np.arange(len(matrices))
+    _, test_idx, _, _ = train_test_split(idx, idx, seed=5)
+    train_mask = np.ones(len(matrices), bool)
+    train_mask[test_idx] = False
+
+    models = {}
+    for fmt in device.formats:
+        y = np.array(
+            [by_matrix[m].get(fmt, 0.0) for m in matrices]
+        )
+        models[fmt] = RandomForestRegressor(
+            n_estimators=25, random_state=1
+        ).fit(X[train_mask], y[train_mask])
+
+    hits = 0
+    retained = []
+    for i in test_idx:
+        m = matrices[i]
+        truth = by_matrix[m]
+        oracle_fmt = max(truth, key=truth.get)
+        pred_fmt = max(
+            models, key=lambda f: models[f].predict(X[i : i + 1])[0]
+        )
+        hits += pred_fmt == oracle_fmt
+        retained.append(truth.get(pred_fmt, 0.0) / truth[oracle_fmt])
+
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["test matrices", len(test_idx)],
+            ["top-1 format accuracy", f"{hits / len(test_idx):.1%}"],
+            ["performance retained vs oracle",
+             f"{float(np.mean(retained)):.1%}"],
+            ["worst-case retained", f"{float(np.min(retained)):.1%}"],
+        ],
+        title=f"Feature-based format selection on {device_name}",
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "AMD-EPYC-24")

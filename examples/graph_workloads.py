@@ -1,0 +1,97 @@
+"""Graph-processing workloads: real network topologies through the SpMV
+pipeline.
+
+Builds adjacency/Laplacian matrices from networkx generators (scale-free
+web, 2-D mesh, small-world), measures the paper's five features on each —
+showing how real graph archetypes land in feature space — and predicts
+their best device/format.  Also runs a power-iteration (PageRank-style)
+loop on the host kernels to demonstrate end-to-end use.
+
+Run:  python examples/graph_workloads.py
+"""
+
+import numpy as np
+
+from repro import TESTBEDS, extract_features, get_format, simulate_best
+from repro.analysis import format_table
+from repro.core.graphs import (
+    laplacian_matrix,
+    mesh2d_matrix,
+    scale_free_matrix,
+    small_world_matrix,
+)
+from repro.perfmodel import MatrixInstance
+
+
+def build_graphs():
+    return {
+        "scale-free (BA, n=30k)": scale_free_matrix(30_000, m=4, seed=1),
+        "mesh 2-D (170x170)": mesh2d_matrix(170),
+        "small-world (WS, n=25k)": small_world_matrix(
+            25_000, k=8, p=0.05, seed=2
+        ),
+        "mesh Laplacian": laplacian_matrix(mesh2d_matrix(170)),
+    }
+
+
+def pagerank_power_iteration(adj, iters=20, damping=0.85):
+    """Power iteration on the column-normalised adjacency via SpMV."""
+    n = adj.n_rows
+    out_degree = adj.transpose().spmv(np.ones(n))
+    out_degree[out_degree == 0] = 1.0
+    rank = np.full(n, 1.0 / n)
+    fmt = get_format("CSR5").from_csr(adj.transpose())
+    for _ in range(iters):
+        rank = (1 - damping) / n + damping * fmt.spmv(rank / out_degree)
+    return rank
+
+
+def main() -> None:
+    graphs = build_graphs()
+
+    rows = []
+    for name, mat in graphs.items():
+        f = extract_features(mat)
+        rows.append([
+            name, f.n_rows, f.nnz, round(f.avg_nnz_per_row, 2),
+            round(f.skew_coeff, 1), round(f.cross_row_similarity, 3),
+            round(f.avg_num_neighbours, 3),
+        ])
+    print(format_table(
+        ["graph", "rows", "nnz", "avg nnz/row", "skew", "cross-row sim",
+         "neighbours"],
+        rows, title="Graph archetypes in the paper's feature space",
+    ))
+
+    rows = []
+    for name, mat in graphs.items():
+        inst = MatrixInstance.from_matrix(mat, name=name)
+        per_dev = {
+            dev.name: simulate_best(inst, dev) for dev in TESTBEDS.values()
+        }
+        ran = {d: m for d, m in per_dev.items() if m is not None}
+        best_dev = max(ran, key=lambda d: ran[d].gflops)
+        eff_dev = max(ran, key=lambda d: ran[d].gflops_per_watt)
+        rows.append([
+            name, best_dev, ran[best_dev].format,
+            round(ran[best_dev].gflops, 1), eff_dev,
+            round(ran[eff_dev].gflops_per_watt, 3),
+        ])
+    print()
+    print(format_table(
+        ["graph", "fastest device", "format", "GFLOPS",
+         "most efficient device", "GFLOPS/W"],
+        rows, title="Best device/format per graph",
+    ))
+
+    # End-to-end: PageRank on the scale-free graph via the CSR5 kernel.
+    adj = graphs["scale-free (BA, n=30k)"]
+    rank = pagerank_power_iteration(adj)
+    top = np.argsort(rank)[-5:][::-1]
+    print("\nPageRank power iteration (20 steps) on the scale-free graph:")
+    print("  top-5 nodes:", list(top), "mass:", round(rank[top].sum(), 4))
+    assert abs(rank.sum() - 1.0) < 0.05
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Mini validation study (Section V-A): do artificial 'friends' predict
+the performance of matrices with the same features?
+
+Picks a representative subset of Table III, synthesises each matrix and
+its ±30% friends, and reports the per-device MAPE/APE-best — a fast,
+self-contained version of the Table IV experiment (the full version lives
+in benchmarks/bench_table4_validation_mape.py).
+
+Run:  python examples/validation_study.py
+"""
+
+import numpy as np
+
+from repro import TESTBEDS, friend_specs, surrogate_spec
+from repro.analysis import format_table
+from repro.core.validation import VALIDATION_SUITE, ape_best, mape
+from repro.perfmodel import MatrixInstance, simulate_best
+
+# One matrix per archetype: circuit, FEM, web graph, power grid, huge FEM.
+SUBSET_IDS = (1, 11, 10, 14, 39)
+DEVICES = ("AMD-EPYC-24", "Tesla-V100", "Alveo-U280")
+
+
+def main() -> None:
+    subset = [vm for vm in VALIDATION_SUITE if vm.id in SUBSET_IDS]
+    rows = []
+    for dev_name in DEVICES:
+        dev = TESTBEDS[dev_name]
+        refs, meds, apes = [], [], []
+        for vm in subset:
+            base_inst = MatrixInstance.from_spec(
+                surrogate_spec(vm), max_nnz=60_000, name=vm.name
+            )
+            base = simulate_best(base_inst, dev)
+            if base is None:
+                continue
+            friend_perf = []
+            for k, fs in enumerate(friend_specs(vm, n_friends=6, seed=3)):
+                inst = MatrixInstance.from_spec(
+                    fs, max_nnz=60_000, name=f"{vm.name}~{k}"
+                )
+                m = simulate_best(inst, dev)
+                if m is not None:
+                    friend_perf.append(m.gflops)
+            if not friend_perf:
+                continue
+            refs.append(base.gflops)
+            meds.append(float(np.median(friend_perf)))
+            apes.append(ape_best(base.gflops, friend_perf))
+        rows.append([
+            dev_name, len(refs), round(mape(refs, meds), 2),
+            round(float(np.mean(apes)), 2),
+        ])
+    print(format_table(
+        ["device", "#matrices", "MAPE %", "APE-best %"],
+        rows,
+        title="Friends vs validation surrogates "
+              "(paper Table IV: 17.51% / 8.58% on 45 matrices)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — Feature-based SpMV Performance Analysis on Contemporary Devices.
+
+Reproduction of Mpakos et al., IPDPS 2023 (arXiv:2302.04225): an artificial
+sparse-matrix generator driven by five structural features, a storage-format
+library, analytical-but-structure-aware device models for nine testbeds,
+and the full benchmark harness regenerating the paper's tables and figures.
+"""
+__version__ = "1.0.0"
+
+from .core import (
+    CSRMatrix, Features, MatrixSpec, Dataset,
+    TABLE_I_SPACE, VALIDATION_SUITE,
+    artificial_matrix_generation, build_dataset_specs, extract_features,
+    generate_matrix, surrogate_spec, friend_specs, sweep,
+)
+from .formats import (
+    SparseFormat, FormatError, CapacityError, FORMAT_REGISTRY,
+    available_formats, get_format,
+)
+from .devices import Device, TESTBEDS, get_device, list_devices, roofline_bounds
+from .perfmodel import MatrixInstance, SpmvMeasurement, simulate_spmv, simulate_best
+from .kernels import time_spmv, verify_all_formats, make_x

@@ -1,0 +1,112 @@
+"""Text rendering: aligned tables and ASCII boxplots.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output readable in a terminal and in the
+captured bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .stats import BoxStats
+
+__all__ = ["format_table", "ascii_boxplot", "boxplot_panel"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Monospace table with per-column alignment."""
+    def fmt(v):
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def ascii_boxplot(
+    stats: BoxStats, lo: float, hi: float, width: int = 50
+) -> str:
+    """One boxplot row rendered over [lo, hi]: ``|--[==M==]--|``."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    def pos(v: float) -> int:
+        clamped = min(max(v, lo), hi)
+        return int(round((clamped - lo) / span * (width - 1)))
+
+    line = [" "] * width
+    p_min, p_q1 = pos(stats.minimum), pos(stats.q1)
+    p_med, p_q3, p_max = pos(stats.median), pos(stats.q3), pos(stats.maximum)
+    for i in range(p_min, p_q1):
+        line[i] = "-"
+    for i in range(p_q3 + 1, p_max + 1):
+        line[i] = "-"
+    for i in range(p_q1, p_q3 + 1):
+        line[i] = "="
+    line[p_min] = "|"
+    line[p_max] = "|"
+    line[p_med] = "M"
+    return "".join(line)
+
+
+def boxplot_panel(
+    named_stats: Dict[str, BoxStats],
+    width: int = 50,
+    label_width: int = 22,
+    log: bool = False,
+    value_fmt: str = "{:.1f}",
+) -> str:
+    """A panel of aligned boxplots sharing one axis (one figure panel).
+
+    With ``log=True`` positions use log10 of the values (all must be > 0).
+    """
+    import math
+
+    if not named_stats:
+        return "(no data)"
+    los = [s.minimum for s in named_stats.values()]
+    his = [s.maximum for s in named_stats.values()]
+    lo, hi = min(los), max(his)
+
+    def tr(s: BoxStats) -> BoxStats:
+        if not log:
+            return s
+        return BoxStats(
+            s.n, math.log10(max(s.minimum, 1e-12)),
+            math.log10(max(s.q1, 1e-12)), math.log10(max(s.median, 1e-12)),
+            math.log10(max(s.q3, 1e-12)), math.log10(max(s.maximum, 1e-12)),
+            math.log10(max(s.mean, 1e-12)),
+        )
+
+    tlo = math.log10(max(lo, 1e-12)) if log else lo
+    thi = math.log10(max(hi, 1e-12)) if log else hi
+    lines = []
+    for name, s in named_stats.items():
+        plot = ascii_boxplot(tr(s), tlo, thi, width)
+        med = value_fmt.format(s.median)
+        lines.append(f"{name:<{label_width}} {plot}  med={med} n={s.n}")
+    axis = (
+        f"{'':<{label_width}} "
+        f"{value_fmt.format(lo)}{' ' * (width - 12)}{value_fmt.format(hi)}"
+    )
+    lines.append(axis + ("  [log scale]" if log else ""))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Feature-slice analysis — the Fig 9 machinery, generalised.
+
+"Fix three features to qualitative classes, sweep the fourth" is how the
+paper extracts per-bottleneck insight from the dataset (Section V-F).
+:func:`feature_slice` implements it over a measurement table, and
+:func:`bottleneck_census` summarises which bottleneck dominates where.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .stats import BoxStats, box_stats
+
+__all__ = ["feature_slice", "bottleneck_census", "optimal_ranges"]
+
+
+def feature_slice(
+    rows: Sequence[dict],
+    sweep_key: str,
+    fixed: Dict[str, Callable[[float], bool]],
+    value_key: str = "gflops",
+) -> Dict[float, BoxStats]:
+    """Distribution of ``value_key`` per value of ``sweep_key``, restricted
+    to rows whose other features pass the ``fixed`` predicates.
+
+    Example (Fig 9: neighbours sweep with good fixed features)::
+
+        feature_slice(
+            table.rows, "req_neigh",
+            fixed={"req_footprint_mb": lambda v: v < 256,
+                   "req_avg_nnz": lambda v: v >= 50,
+                   "req_skew": lambda v: v <= 100},
+        )
+    """
+    filtered = [
+        r for r in rows
+        if all(pred(r[key]) for key, pred in fixed.items())
+    ]
+    by_value: Dict[float, List[float]] = defaultdict(list)
+    for r in filtered:
+        by_value[r[sweep_key]].append(r[value_key])
+    return {
+        v: box_stats(vals) for v, vals in sorted(by_value.items()) if vals
+    }
+
+
+def bottleneck_census(
+    rows: Sequence[dict], by: str = "device"
+) -> Dict[str, Dict[str, float]]:
+    """Fraction of matrices dominated by each bottleneck, grouped by
+    ``by`` (device, format, ...).
+
+    Quantifies the paper's conclusion section: SpMV stays memory-bound
+    overall, low ILP shows up for short rows, latency on GPUs, while
+    imbalance is mostly absorbed by the formats.
+    """
+    groups: Dict[str, Counter] = defaultdict(Counter)
+    for r in rows:
+        groups[r[by]][r["bottleneck"]] += 1
+    out: Dict[str, Dict[str, float]] = {}
+    for key, counts in groups.items():
+        total = sum(counts.values())
+        out[key] = {
+            b: 100.0 * c / total for b, c in sorted(counts.items())
+        }
+    return out
+
+
+def optimal_ranges(
+    rows: Sequence[dict],
+    feature_key: str,
+    value_key: str = "gflops",
+    top_fraction: float = 0.25,
+) -> Optional[Dict[str, float]]:
+    """The feature range occupied by the top-performing matrices.
+
+    Answers Section V-F's "determine the optimal feature value ranges per
+    device": among the top ``top_fraction`` of rows by ``value_key``,
+    report min/median/max of ``feature_key``.
+    """
+    if not rows:
+        return None
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    values = np.array([r[value_key] for r in rows])
+    cutoff = np.quantile(values, 1.0 - top_fraction)
+    top = [r[feature_key] for r in rows if r[value_key] >= cutoff]
+    if not top:
+        return None
+    arr = np.array(top, dtype=np.float64)
+    return {
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+        "n": len(arr),
+    }

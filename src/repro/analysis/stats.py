@@ -1,0 +1,85 @@
+"""Distribution statistics underlying every boxplot figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "bin_by", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary + mean of one boxplot."""
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_row(self) -> Tuple[float, ...]:
+        return (
+            self.n, self.minimum, self.q1, self.median, self.q3,
+            self.maximum, self.mean,
+        )
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Five-number summary of a sample (empty samples are rejected)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxStats(
+        n=len(arr),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+    )
+
+
+def bin_by(
+    rows: Sequence[dict],
+    key: str,
+    edges: Sequence[float],
+    value_key: str = "gflops",
+) -> Dict[str, List[float]]:
+    """Group ``rows[value_key]`` into labelled bins of ``rows[key]``.
+
+    ``edges`` are the interior bin boundaries; labels are
+    ``"<e0"``, ``"e0-e1"``, …, ``">=eN"``.
+    """
+    edges = list(edges)
+    labels = (
+        [f"<{edges[0]:g}"]
+        + [f"{a:g}-{b:g}" for a, b in zip(edges[:-1], edges[1:])]
+        + [f">={edges[-1]:g}"]
+    )
+    out: Dict[str, List[float]] = {lab: [] for lab in labels}
+    for r in rows:
+        v = r[key]
+        i = int(np.searchsorted(edges, v, side="right"))
+        out[labels[i]].append(r[value_key])
+    return out
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("empty sample")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,34 @@
+"""Format 'wins' accounting (the bars behind Fig 7's boxplots)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+__all__ = ["format_wins", "win_table"]
+
+
+def format_wins(rows: Sequence[dict]) -> Dict[str, float]:
+    """Percentage of matrices on which each format was the best.
+
+    ``rows`` must carry one *best* measurement per matrix (the output of a
+    ``best_only`` sweep for one device): keys ``format``.
+    """
+    counts: Dict[str, int] = defaultdict(int)
+    for r in rows:
+        counts[r["format"]] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {fmt: 100.0 * c / total for fmt, c in sorted(counts.items())}
+
+
+def win_table(
+    rows: Sequence[dict], devices: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """Per-device win percentages: ``{device: {format: pct}}``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for dev in devices:
+        dev_rows = [r for r in rows if r["device"] == dev]
+        out[dev] = format_wins(dev_rows)
+    return out

@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+Five subcommands wrap the library's main workflows::
+
+    repro generate  --rows 20000 --avg 25 --skew 50 --out m.mtx
+    repro features  m.mtx
+    repro simulate  m.mtx --device Tesla-A100 [--format CSR5] [--fp32]
+    repro sweep     --scale tiny --devices Tesla-A100,AMD-EPYC-64 --out r.csv
+    repro validate  --ids 1,11,39 --device AMD-EPYC-24
+
+Every command prints human-readable tables; ``sweep`` also persists the
+raw measurement rows as CSV for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Feature-based SpMV performance analysis "
+                    "(IPDPS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate an artificial matrix")
+    g.add_argument("--rows", type=int, required=True)
+    g.add_argument("--cols", type=int, default=None)
+    g.add_argument("--avg", type=float, required=True,
+                   help="average nonzeros per row (f2)")
+    g.add_argument("--skew", type=float, default=0.0, help="f3")
+    g.add_argument("--sim", type=float, default=0.5, help="f4.a")
+    g.add_argument("--neigh", type=float, default=1.0, help="f4.b")
+    g.add_argument("--bw", type=float, default=0.3,
+                   help="scaled bandwidth window")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--method", choices=("chain", "rowwise"),
+                   default="chain")
+    g.add_argument("--out", required=True, help="output .mtx[.gz] path")
+
+    f = sub.add_parser("features", help="print the features of a matrix")
+    f.add_argument("matrix", help=".mtx[.gz] path")
+
+    s = sub.add_parser("simulate", help="predict SpMV behaviour")
+    s.add_argument("matrix", help=".mtx[.gz] path")
+    s.add_argument("--device", default=None,
+                   help="testbed name (default: all nine)")
+    s.add_argument("--format", dest="format_name", default=None,
+                   help="storage format (default: best of the device's)")
+    s.add_argument("--fp32", action="store_true",
+                   help="single precision instead of double")
+
+    w = sub.add_parser("sweep", help="sweep the artificial dataset")
+    w.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "medium", "large"))
+    w.add_argument("--devices", default=None,
+                   help="comma-separated testbed names (default: all)")
+    w.add_argument("--max-nnz", type=int, default=80_000)
+    w.add_argument("--out", required=True, help="output CSV path")
+
+    v = sub.add_parser("validate", help="mini Table-IV friends experiment")
+    v.add_argument("--ids", default="1,11,39",
+                   help="comma-separated Table III matrix ids")
+    v.add_argument("--device", default="AMD-EPYC-24")
+    v.add_argument("--friends", type=int, default=6)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    from .core.generator import artificial_matrix_generation
+    from .io import write_mtx
+
+    mat = artificial_matrix_generation(
+        args.rows, args.cols or args.rows, args.avg,
+        skew_coeff=args.skew, bw_scaled=args.bw, cross_row_sim=args.sim,
+        avg_num_neigh=args.neigh, seed=args.seed, method=args.method,
+    )
+    write_mtx(args.out, mat)
+    print(f"wrote {mat.n_rows}x{mat.n_cols} nnz={mat.nnz} to {args.out}")
+    return 0
+
+
+def _cmd_features(args) -> int:
+    from .core.features import extract_features, regularity_class
+    from .io import read_mtx
+
+    feats = extract_features(read_mtx(args.matrix))
+    for key, value in feats.to_dict().items():
+        print(f"{key:24s} {value:.6g}")
+    print(f"{'regularity_class':24s} {regularity_class(feats)}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .analysis import format_table
+    from .devices import TESTBEDS, get_device
+    from .formats import FormatError
+    from .io import read_mtx
+    from .perfmodel import MatrixInstance, simulate_best, simulate_spmv
+
+    inst = MatrixInstance.from_matrix(read_mtx(args.matrix),
+                                      name=args.matrix)
+    precision = "fp32" if args.fp32 else "fp64"
+    devices = (
+        [get_device(args.device)] if args.device else TESTBEDS.values()
+    )
+    rows = []
+    for dev in devices:
+        try:
+            if args.format_name:
+                m = simulate_spmv(inst, args.format_name, dev,
+                                  precision=precision)
+            else:
+                m = simulate_best(inst, dev, precision=precision)
+        except FormatError as exc:
+            rows.append([dev.name, args.format_name or "-",
+                         f"failed: {exc}", "-", "-"])
+            continue
+        if m is None:
+            rows.append([dev.name, "-", "all formats failed", "-", "-"])
+            continue
+        rows.append([dev.name, m.format, round(m.gflops, 2),
+                     round(m.gflops_per_watt, 3), m.bottleneck])
+    print(format_table(
+        ["device", "format", "GFLOPS", "GFLOPS/W", "bottleneck"],
+        rows, title=f"Predicted SpMV ({precision})",
+    ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core.dataset import Dataset, sweep
+    from .core.feature_space import build_dataset_specs
+    from .devices import TESTBEDS, get_device
+    from .io import write_rows
+
+    devices = (
+        [get_device(d) for d in args.devices.split(",")]
+        if args.devices
+        else list(TESTBEDS.values())
+    )
+    dataset = Dataset(
+        build_dataset_specs(args.scale), max_nnz=args.max_nnz,
+        name=args.scale,
+    )
+    print(
+        f"sweeping {len(dataset)} matrices on "
+        f"{', '.join(d.name for d in devices)} ..."
+    )
+    table = sweep(
+        dataset, devices,
+        progress=lambda i, n: print(f"\r  {i}/{n}", end="", flush=True),
+    )
+    print()
+    write_rows(args.out, table.rows)
+    print(f"wrote {len(table)} measurement rows to {args.out}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis import format_table
+    from .core.validation import (
+        VALIDATION_SUITE, ape_best, friend_specs, mape, surrogate_spec,
+    )
+    from .devices import get_device
+    from .perfmodel import MatrixInstance, simulate_best
+
+    ids = {int(t) for t in args.ids.split(",")}
+    device = get_device(args.device)
+    refs, meds, rows = [], [], []
+    for vm in VALIDATION_SUITE:
+        if vm.id not in ids:
+            continue
+        base = simulate_best(
+            MatrixInstance.from_spec(surrogate_spec(vm), max_nnz=60_000,
+                                     name=vm.name),
+            device,
+        )
+        if base is None:
+            rows.append([vm.id, vm.name, "infeasible", "-", "-"])
+            continue
+        friends = []
+        for k, fs in enumerate(
+            friend_specs(vm, n_friends=args.friends, seed=3)
+        ):
+            m = simulate_best(
+                MatrixInstance.from_spec(fs, max_nnz=60_000,
+                                         name=f"{vm.name}~{k}"),
+                device,
+            )
+            if m is not None:
+                friends.append(m.gflops)
+        if not friends:
+            rows.append([vm.id, vm.name, round(base.gflops, 2), "-", "-"])
+            continue
+        refs.append(base.gflops)
+        meds.append(float(np.median(friends)))
+        rows.append([
+            vm.id, vm.name, round(base.gflops, 2),
+            round(float(np.median(friends)), 2),
+            round(ape_best(base.gflops, friends), 2),
+        ])
+    title = f"Validation on {device.name}"
+    if refs:
+        title += f" — MAPE {mape(refs, meds):.2f}%"
+    print(format_table(
+        ["id", "matrix", "GFLOPS", "friends median", "APE-best %"],
+        rows, title=title,
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "features": _cmd_features,
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``repro`` console script)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Core: matrix container, features, generator, datasets, validation."""
+from .matrix import CSRMatrix, csr_from_arrays, csr_from_coo, csr_from_dense
+from .features import (
+    Features, extract_features, regularity_class,
+    skew_coefficient, avg_num_neighbours, cross_row_similarity,
+)
+from .generator import (
+    MatrixSpec, artificial_matrix_generation, generate_matrix,
+    row_length_profile,
+)
+from .feature_space import (
+    FeatureSpace, TABLE_I_SPACE, DATASET_PRESETS,
+    build_dataset_specs, dataset_scale_from_env,
+)
+from .dataset import Dataset, MeasurementTable, sweep
+from .validation import (
+    ValidationMatrix, VALIDATION_SUITE, surrogate_spec, friend_specs,
+    mape, ape_best,
+)

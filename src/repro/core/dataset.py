@@ -1,0 +1,151 @@
+"""Dataset containers: lazily materialised matrix instances + measurements.
+
+A :class:`Dataset` owns a list of specs and materialises
+:class:`~repro.perfmodel.instance.MatrixInstance` objects on demand
+(generation dominates runtime, so instances are cached).  The
+:func:`sweep` helper runs the simulator across devices/formats and returns
+a flat measurement table that the analysis layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..devices.base import Device
+from .generator import MatrixSpec
+
+__all__ = ["Dataset", "sweep", "MeasurementTable"]
+
+DEFAULT_MAX_NNZ = 100_000
+
+
+class Dataset:
+    """A list of matrix specs with cached instances."""
+
+    def __init__(
+        self,
+        specs: Sequence[MatrixSpec],
+        max_nnz: int = DEFAULT_MAX_NNZ,
+        name: str = "dataset",
+    ):
+        self.specs = list(specs)
+        self.max_nnz = max_nnz
+        self.name = name
+        self._instances: Dict[int, "MatrixInstance"] = {}
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def instance(self, i: int):
+        """The (cached) representative instance for spec ``i``."""
+        from ..perfmodel.instance import MatrixInstance
+
+        if i not in self._instances:
+            self._instances[i] = MatrixInstance.from_spec(
+                self.specs[i],
+                max_nnz=self.max_nnz,
+                name=f"{self.name}[{i}]",
+            )
+        return self._instances[i]
+
+    def instances(self) -> Iterable:
+        for i in range(len(self)):
+            yield self.instance(i)
+
+    def drop_cache(self) -> None:
+        self._instances.clear()
+
+
+@dataclass
+class MeasurementTable:
+    """Flat result table of one sweep: parallel lists, one row per
+    (matrix, device) best measurement or per (matrix, device, format)."""
+
+    rows: List[dict]
+
+    def column(self, key: str) -> List:
+        return [r[key] for r in self.rows]
+
+    def where(self, **conditions) -> "MeasurementTable":
+        out = [
+            r
+            for r in self.rows
+            if all(r.get(k) == v for k, v in conditions.items())
+        ]
+        return MeasurementTable(out)
+
+    def filter(self, predicate: Callable[[dict], bool]) -> "MeasurementTable":
+        return MeasurementTable([r for r in self.rows if predicate(r)])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def sweep(
+    dataset: Dataset,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> MeasurementTable:
+    """Simulate the dataset on every device.
+
+    With ``best_only`` (the paper's reporting convention) one row per
+    (matrix, device) carries the best format; otherwise one row per
+    (matrix, device, format).  Matrices that no format can host on a device
+    (FPGA capacity) are skipped, matching the paper's handling.
+    """
+    from ..formats.base import FormatError
+    from ..perfmodel.simulator import simulate_best, simulate_spmv
+
+    rows: List[dict] = []
+    n = len(dataset)
+    for i in range(n):
+        inst = dataset.instance(i)
+        feats = inst.features
+        base = {
+            "matrix": inst.name,
+            "spec_index": i,
+            "mem_footprint_mb": feats.mem_footprint_mb,
+            "avg_nnz_per_row": feats.avg_nnz_per_row,
+            "skew_coeff": feats.skew_coeff,
+            "cross_row_similarity": feats.cross_row_similarity,
+            "avg_num_neighbours": feats.avg_num_neighbours,
+            "nnz": feats.nnz,
+            "n_rows": feats.n_rows,
+            # requested (grid) coordinates, for exact binning
+            "req_footprint_mb": dataset.specs[i].mem_footprint_mb,
+            "req_avg_nnz": dataset.specs[i].avg_nnz_per_row,
+            "req_skew": dataset.specs[i].skew_coeff,
+            "req_sim": dataset.specs[i].cross_row_sim,
+            "req_neigh": dataset.specs[i].avg_num_neigh,
+        }
+        for dev in devices:
+            names = list(formats) if formats else list(dev.formats)
+            if best_only:
+                m = simulate_best(inst, dev, formats=names, seed=seed)
+                if m is None:
+                    continue
+                rows.append(
+                    {**base, "device": dev.name, "format": m.format,
+                     "gflops": m.gflops, "watts": m.watts,
+                     "gflops_per_watt": m.gflops_per_watt,
+                     "bottleneck": m.bottleneck}
+                )
+            else:
+                for fmt in names:
+                    try:
+                        m = simulate_spmv(inst, fmt, dev, seed=seed)
+                    except FormatError:
+                        continue
+                    rows.append(
+                        {**base, "device": dev.name, "format": fmt,
+                         "gflops": m.gflops, "watts": m.watts,
+                         "gflops_per_watt": m.gflops_per_watt,
+                         "bottleneck": m.bottleneck}
+                    )
+        if progress is not None:
+            progress(i + 1, n)
+    return MeasurementTable(rows)

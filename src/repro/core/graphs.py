@@ -1,0 +1,103 @@
+"""Graph-derived sparse matrices (optional, requires networkx).
+
+The paper's motivation spans scientific computing *and* graph processing;
+these builders produce adjacency/Laplacian matrices with the sparsity
+archetypes the validation suite contains: scale-free webs (webbase,
+soc-LiveJournal), near-regular meshes (delaunay, mc2depi) and small-world
+networks.  Used by the ``graph_workloads`` example and the feature tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .matrix import CSRMatrix, csr_from_coo
+
+__all__ = [
+    "from_networkx",
+    "scale_free_matrix",
+    "mesh2d_matrix",
+    "small_world_matrix",
+    "laplacian_matrix",
+]
+
+
+def _require_networkx():
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - env without networkx
+        raise ImportError(
+            "networkx is required for graph-derived matrices"
+        ) from exc
+    return nx
+
+
+def from_networkx(graph, weight: Optional[str] = None) -> CSRMatrix:
+    """Adjacency matrix of a (di)graph as :class:`CSRMatrix`.
+
+    Unweighted edges get value 1.0; with ``weight`` set, the named edge
+    attribute is used (missing attributes default to 1.0).
+    """
+    nodes = list(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    rows, cols, vals = [], [], []
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get(weight, 1.0)) if weight else 1.0
+        rows.append(index[u])
+        cols.append(index[v])
+        vals.append(w)
+        if not graph.is_directed():
+            rows.append(index[v])
+            cols.append(index[u])
+            vals.append(w)
+    return csr_from_coo(
+        n, n,
+        np.array(rows, dtype=np.int64) if rows else np.zeros(0, np.int64),
+        np.array(cols, dtype=np.int64) if cols else np.zeros(0, np.int64),
+        np.array(vals, dtype=np.float64) if vals else np.zeros(0),
+    )
+
+
+def scale_free_matrix(n: int, m: int = 4, seed: int = 0) -> CSRMatrix:
+    """Barabási–Albert adjacency: heavy-tailed rows (webbase-like skew)."""
+    nx = _require_networkx()
+    return from_networkx(nx.barabasi_albert_graph(n, m, seed=seed))
+
+
+def mesh2d_matrix(side: int) -> CSRMatrix:
+    """2-D grid adjacency: banded, regular (mesh/PDE-like)."""
+    nx = _require_networkx()
+    g = nx.grid_2d_graph(side, side)
+    return from_networkx(g)
+
+
+def small_world_matrix(
+    n: int, k: int = 6, p: float = 0.1, seed: int = 0
+) -> CSRMatrix:
+    """Watts–Strogatz adjacency: banded with random long-range hops."""
+    nx = _require_networkx()
+    return from_networkx(nx.watts_strogatz_graph(n, k, p, seed=seed))
+
+
+def laplacian_matrix(adjacency: CSRMatrix) -> CSRMatrix:
+    """Combinatorial Laplacian ``D - A`` of an adjacency matrix."""
+    if adjacency.n_rows != adjacency.n_cols:
+        raise ValueError("adjacency must be square")
+    degrees = adjacency.spmv(np.ones(adjacency.n_cols))
+    rows = np.repeat(
+        np.arange(adjacency.n_rows, dtype=np.int64), adjacency.row_lengths
+    )
+    all_rows = np.concatenate(
+        [rows, np.arange(adjacency.n_rows, dtype=np.int64)]
+    )
+    all_cols = np.concatenate(
+        [adjacency.indices.astype(np.int64),
+         np.arange(adjacency.n_rows, dtype=np.int64)]
+    )
+    all_vals = np.concatenate([-adjacency.data, degrees])
+    return csr_from_coo(
+        adjacency.n_rows, adjacency.n_cols, all_rows, all_cols, all_vals
+    )

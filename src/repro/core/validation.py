@@ -1,0 +1,174 @@
+"""Validation suite (Table III) and the ±30% "friends" methodology.
+
+The paper validates the generator against the 45 most widely used
+SuiteSparse matrices.  SuiteSparse is unavailable offline, but the
+methodology only consumes each matrix's *feature vector*, which Table III
+publishes in full: f1 (CSR MB), f2 (avg nnz/row), f3 (skew) and f4 (the
+S/M/L regularity class pair).  We synthesise a *surrogate* for each row
+with the generator, then generate its artificial friends exactly as the
+paper does — every feature perturbed uniformly in ±30% — and compute the
+Table-IV statistics (MAPE against the friend median, APE against the best
+friend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .generator import MatrixSpec
+
+__all__ = [
+    "ValidationMatrix",
+    "VALIDATION_SUITE",
+    "surrogate_spec",
+    "friend_specs",
+    "mape",
+    "ape_best",
+]
+
+
+@dataclass(frozen=True)
+class ValidationMatrix:
+    """One Table-III row: published features of a real matrix."""
+
+    id: int
+    name: str
+    mem_footprint_mb: float   # f1
+    avg_nnz_per_row: float    # f2
+    skew_coeff: float         # f3
+    regularity: str           # f4: two letters (neighbours, similarity)
+
+
+# Table III, verbatim.  The regularity column's first letter classifies
+# avg_num_neighbours, the second cross_row_similarity ("S" = irregular).
+VALIDATION_SUITE: List[ValidationMatrix] = [
+    ValidationMatrix(1, "scircuit", 11.63, 5.61, 61.95, "MM"),
+    ValidationMatrix(2, "mac_econ_fwd500", 15.36, 6.17, 6.14, "MS"),
+    ValidationMatrix(3, "raefsky3", 17.12, 70.22, 0.14, "LL"),
+    ValidationMatrix(4, "bbmat", 20.42, 45.73, 1.76, "LM"),
+    ValidationMatrix(5, "conf5_4-8x8-15", 22.13, 39.0, 0.0, "LL"),
+    ValidationMatrix(6, "mc2depi", 26.04, 3.99, 0.0, "LS"),
+    ValidationMatrix(7, "rma10", 27.35, 50.69, 1.86, "LL"),
+    ValidationMatrix(8, "cop20k_A", 30.5, 21.65, 2.74, "MM"),
+    ValidationMatrix(9, "thermomech_dK", 33.35, 13.93, 0.44, "MM"),
+    ValidationMatrix(10, "webbase-1M", 39.35, 3.11, 1512.43, "LS"),
+    ValidationMatrix(11, "cant", 46.1, 64.17, 0.22, "LL"),
+    ValidationMatrix(12, "ASIC_680k", 46.91, 5.67, 69710.56, "LM"),
+    ValidationMatrix(13, "pdb1HYS", 49.86, 119.31, 0.71, "LL"),
+    ValidationMatrix(14, "TSOPF_RS_b300_c3", 50.67, 104.74, 1.0, "LL"),
+    ValidationMatrix(15, "Chebyshev4", 61.8, 78.94, 861.9, "LL"),
+    ValidationMatrix(16, "consph", 69.1, 72.13, 0.12, "LL"),
+    ValidationMatrix(17, "com-Youtube", 72.71, 5.27, 5460.3, "MS"),
+    ValidationMatrix(18, "rajat30", 73.13, 9.59, 47421.8, "MM"),
+    ValidationMatrix(19, "radiation", 88.26, 34.23, 101.18, "SS"),
+    ValidationMatrix(20, "Stanford_Berkeley", 89.39, 11.1, 7519.69, "MM"),
+    ValidationMatrix(21, "shipsec1", 89.95, 55.46, 0.84, "LL"),
+    ValidationMatrix(22, "PR02R", 94.29, 50.82, 0.81, "LM"),
+    ValidationMatrix(23, "gupta3", 106.76, 555.53, 25.41, "LL"),
+    ValidationMatrix(24, "mip1", 118.73, 155.77, 425.24, "LL"),
+    ValidationMatrix(25, "rail4284", 129.15, 2633.99, 20.33, "SL"),
+    ValidationMatrix(26, "pwtk", 133.98, 53.39, 2.37, "LL"),
+    ValidationMatrix(27, "crankseg_2", 162.16, 221.64, 14.44, "LL"),
+    ValidationMatrix(28, "Si41Ge41H72", 172.5, 80.86, 7.19, "LM"),
+    ValidationMatrix(29, "TSOPF_RS_b2383", 185.21, 424.22, 1.32, "LL"),
+    ValidationMatrix(30, "in-2004", 198.88, 12.23, 632.78, "LL"),
+    ValidationMatrix(31, "Ga41As41H72", 212.61, 68.96, 9.18, "LM"),
+    ValidationMatrix(32, "eu-2005", 223.42, 22.3, 312.27, "LM"),
+    ValidationMatrix(33, "wikipedia-20051105", 232.29, 12.08, 410.37, "SS"),
+    ValidationMatrix(34, "human_gene1", 282.41, 1107.11, 6.17, "SS"),
+    ValidationMatrix(35, "delaunay_n22", 304.0, 6.0, 2.83, "MS"),
+    ValidationMatrix(36, "sx-stackoverflow", 424.58, 13.93, 2738.46, "SS"),
+    ValidationMatrix(37, "dgreen", 442.43, 31.87, 4.87, "SS"),
+    ValidationMatrix(38, "mawi_201512012345", 506.18, 2.05, 8006372.09, "LM"),
+    ValidationMatrix(39, "ldoor", 536.04, 48.86, 0.58, "LL"),
+    ValidationMatrix(40, "dielFilterV2real", 559.9, 41.94, 1.62, "MM"),
+    ValidationMatrix(41, "circuit5M", 702.4, 10.71, 120504.85, "LM"),
+    ValidationMatrix(42, "soc-LiveJournal1", 808.06, 14.23, 1424.81, "SS"),
+    ValidationMatrix(43, "bone010", 823.92, 72.63, 0.12, "LL"),
+    ValidationMatrix(44, "audikw_1", 892.25, 82.28, 3.19, "LL"),
+    ValidationMatrix(45, "cage15", 1154.91, 19.24, 1.44, "LS"),
+]
+
+# Centres of the three equal sub-ranges per regularity sub-feature.
+_NEIGH_VALUE = {"S": 0.33, "M": 1.0, "L": 1.67}   # avg_num_neigh in [0, 2]
+_SIM_VALUE = {"S": 0.17, "M": 0.5, "L": 0.83}     # cross_row_sim in [0, 1]
+
+
+def surrogate_spec(vm: ValidationMatrix, seed: int = 0) -> MatrixSpec:
+    """Generator spec reproducing a Table-III matrix's published features."""
+    if len(vm.regularity) != 2:
+        raise ValueError(f"bad regularity label {vm.regularity!r}")
+    neigh = _NEIGH_VALUE[vm.regularity[0]]
+    sim = _SIM_VALUE[vm.regularity[1]]
+    return MatrixSpec.from_footprint(
+        vm.mem_footprint_mb,
+        vm.avg_nnz_per_row,
+        skew_coeff=vm.skew_coeff,
+        cross_row_sim=sim,
+        avg_num_neigh=neigh,
+        seed=seed + vm.id * 1000,
+    )
+
+
+def friend_specs(
+    vm: ValidationMatrix,
+    n_friends: int = 12,
+    spread: float = 0.30,
+    seed: int = 0,
+) -> List[MatrixSpec]:
+    """Artificial 'friends': every feature perturbed uniformly in ±spread.
+
+    Mirrors Section V-A (the paper uses ~70 friends per matrix over a
+    [-30%, +30%] range; ``n_friends`` trades fidelity for runtime).
+    """
+    if not 0 <= spread < 1:
+        raise ValueError("spread must be in [0, 1)")
+    base = surrogate_spec(vm, seed=seed)
+    rng = np.random.default_rng(seed + vm.id)
+    out = []
+    for k in range(n_friends):
+        jitter = rng.uniform(1 - spread, 1 + spread, size=5)
+        out.append(
+            MatrixSpec.from_footprint(
+                vm.mem_footprint_mb * jitter[0],
+                max(vm.avg_nnz_per_row * jitter[1], 1.0),
+                skew_coeff=vm.skew_coeff * jitter[2],
+                cross_row_sim=float(
+                    np.clip(base.cross_row_sim * jitter[3], 0.0, 1.0)
+                ),
+                avg_num_neigh=float(
+                    np.clip(base.avg_num_neigh * jitter[4], 0.0, 2.0)
+                ),
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return out
+
+
+def mape(reference: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute percentage error, in percent (Table IV)."""
+    ref = np.asarray(reference, dtype=np.float64)
+    pred = np.asarray(predicted, dtype=np.float64)
+    if ref.shape != pred.shape:
+        raise ValueError("reference/predicted length mismatch")
+    mask = ref != 0
+    if not mask.any():
+        return 0.0
+    return float(
+        100.0 * np.mean(np.abs(pred[mask] - ref[mask]) / np.abs(ref[mask]))
+    )
+
+
+def ape_best(reference: float, candidates: Sequence[float]) -> float:
+    """Absolute percentage error of the closest candidate ("best friend")."""
+    cands = np.asarray(list(candidates), dtype=np.float64)
+    if len(cands) == 0:
+        raise ValueError("no candidates")
+    if reference == 0:
+        return 0.0
+    return float(
+        100.0 * np.min(np.abs(cands - reference)) / abs(reference)
+    )

@@ -1,0 +1,72 @@
+"""Roofline model (Williams et al. [31]) — used for Fig 1's bound markers.
+
+SpMV's operational intensity is computed from the actual CSR traffic of a
+matrix; the roofline bound is ``min(peak, intensity * bandwidth)`` for both
+the DRAM and LLC bandwidths, giving the two marker series of Fig 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Device
+
+__all__ = ["RooflinePoint", "spmv_operational_intensity", "roofline_bounds"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Roofline bounds for one (matrix, device) pair, in GFLOP/s."""
+
+    intensity_flop_per_byte: float
+    memory_bound_gflops: float   # DRAM/HBM roof
+    llc_bound_gflops: float      # LLC roof (only meaningful if it fits)
+    compute_bound_gflops: float
+
+    @property
+    def attainable_gflops(self) -> float:
+        """The classic roofline: min(compute peak, memory roof)."""
+        return min(self.compute_bound_gflops, self.memory_bound_gflops)
+
+
+def spmv_operational_intensity(
+    nnz: int,
+    n_rows: int,
+    n_cols: int,
+    value_bytes: int = 8,
+    index_bytes: int = 4,
+) -> float:
+    """Flop-per-byte ratio of CSR SpMV.
+
+    2 flops per nonzero over: matrix values + column indices + row pointers
+    + one streaming read of ``x`` + one write of ``y``.  This is the
+    "CSR memory footprint" estimate the paper uses for its roofline points
+    (Section V-A); the true traffic can only be higher (x re-reads), so the
+    bound is conservative.
+    """
+    if nnz <= 0:
+        return 0.0
+    bytes_total = (
+        nnz * (value_bytes + index_bytes)
+        + (n_rows + 1) * index_bytes
+        + n_cols * value_bytes
+        + n_rows * value_bytes
+    )
+    return 2.0 * nnz / bytes_total
+
+
+def roofline_bounds(
+    device: Device, nnz: int, n_rows: int, n_cols: int
+) -> RooflinePoint:
+    """DRAM and LLC roofline bounds for a matrix on ``device``."""
+    intensity = spmv_operational_intensity(nnz, n_rows, n_cols)
+    return RooflinePoint(
+        intensity_flop_per_byte=intensity,
+        memory_bound_gflops=min(
+            device.peak_gflops, intensity * device.dram_bw_gbs
+        ),
+        llc_bound_gflops=min(
+            device.peak_gflops, intensity * device.llc_bw_gbs
+        ),
+        compute_bound_gflops=device.peak_gflops,
+    )

@@ -1,0 +1,61 @@
+"""Multi-socket / multi-device scaling (the paper's stated future work:
+"shedding more light to multiple device execution behaviour (e.g. dual
+CPU/socket) is left for future work").
+
+:func:`scale_device` derives a multi-socket variant of a testbed with the
+standard NUMA caveats: bandwidth and cores scale by the socket count times
+a NUMA efficiency factor, the LLC aggregates, latency rises for remote
+accesses, and the power envelope multiplies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .base import Device
+
+__all__ = ["scale_device", "DEFAULT_NUMA_EFFICIENCY"]
+
+# Fraction of ideal scaling a first-touch-placed SpMV achieves across
+# sockets (cross-socket x reads eat into it).
+DEFAULT_NUMA_EFFICIENCY = 0.85
+
+
+def scale_device(
+    device: Device,
+    sockets: int = 2,
+    numa_efficiency: float = DEFAULT_NUMA_EFFICIENCY,
+) -> Device:
+    """A ``sockets``-socket variant of ``device``.
+
+    Only meaningful for CPUs (GPUs/FPGAs scale by card count, which is a
+    different execution model) — non-CPU devices are rejected.
+    """
+    if not device.is_cpu:
+        raise ValueError(
+            f"{device.name} is not a CPU; multi-socket scaling only "
+            "applies to CPU testbeds"
+        )
+    if sockets < 1:
+        raise ValueError("sockets must be >= 1")
+    if not 0 < numa_efficiency <= 1:
+        raise ValueError("numa_efficiency must be in (0, 1]")
+    if sockets == 1:
+        return device
+    eff = numa_efficiency
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}x{sockets}",
+        cores=device.cores * sockets,
+        n_workers=device.n_workers * sockets,
+        peak_gflops=device.peak_gflops * sockets,
+        llc_mb=device.llc_mb * sockets,
+        llc_bw_gbs=device.llc_bw_gbs * sockets * eff,
+        dram_bw_gbs=device.dram_bw_gbs * sockets * eff,
+        dram_gb=device.dram_gb * sockets,
+        # Remote-socket accesses lengthen the average latency.
+        mem_latency_ns=device.mem_latency_ns * (1.0 + 0.4 * (sockets - 1)),
+        idle_w=device.idle_w * sockets,
+        max_w=device.max_w * sockets,
+        saturation_nnz=device.saturation_nnz * sockets,
+    )

@@ -1,0 +1,19 @@
+"""Sparse storage formats and their SpMV kernels (paper Section II-B)."""
+from .base import (
+    CapacityError, FormatError, FormatStats, SparseFormat,
+    FORMAT_REGISTRY, available_formats, get_format, register_format,
+)
+from .coo import COO
+from .csr import BalancedCSR, NaiveCSR, VectorizedCSR
+from .ell import ELL, HYB
+from .sellcs import SELLCSigma
+from .csr5 import CSR5
+from .merge import MergeCSR, merge_path_partition
+from .sparsex import SparseX
+from .vsl import VSL
+from .dia import DIA
+from .jad import JAD
+from .bcsr import BCSR
+from .vendor import (
+    AOCLSparse, ARMPLSparse, CuSparseCOO, CuSparseCSR, MKLInspectorExecutor,
+)

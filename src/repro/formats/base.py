@@ -1,0 +1,163 @@
+"""Storage-format abstraction.
+
+Every format in Section II-B is implemented as a :class:`SparseFormat`
+subclass: conversion from CSR, a correct (NumPy-vectorised) SpMV kernel,
+exact memory accounting, and the structural statistics the performance
+model consumes (padding ratio, metadata volume, work partitioning quality).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..core.matrix import CSRMatrix
+
+__all__ = [
+    "SparseFormat",
+    "FormatStats",
+    "FormatError",
+    "CapacityError",
+    "register_format",
+    "get_format",
+    "available_formats",
+    "FORMAT_REGISTRY",
+]
+
+INDEX_BYTES = 4
+VALUE_BYTES = 8
+
+
+class FormatError(ValueError):
+    """A matrix cannot be represented in this format (e.g. padding blowup)."""
+
+
+class CapacityError(FormatError):
+    """The converted matrix exceeds a hard storage capacity (paper: VSL
+    matrices overflowing the Alveo-U280 HBM channels)."""
+
+
+@dataclass(frozen=True)
+class FormatStats:
+    """Structural statistics of a converted matrix.
+
+    Attributes
+    ----------
+    stored_elements:
+        Total value slots stored, including padding.
+    padding_elements:
+        Explicit zero slots added by the format.
+    memory_bytes:
+        Exact storage size (values + all metadata).
+    metadata_bytes:
+        Bytes spent on anything that is not a value (indices, pointers,
+        descriptors).
+    balance_aware:
+        Whether the format's work distribution equalises nonzeros rather
+        than rows (drives the imbalance penalty in the device model).
+    simd_friendly:
+        Whether the layout exposes contiguous per-row/per-chunk vector work.
+    """
+
+    stored_elements: int
+    padding_elements: int
+    memory_bytes: int
+    metadata_bytes: int
+    balance_aware: bool = False
+    simd_friendly: bool = False
+
+    @property
+    def padding_ratio(self) -> float:
+        """Padding slots as a fraction of *useful* nonzeros."""
+        useful = self.stored_elements - self.padding_elements
+        return self.padding_elements / useful if useful else 0.0
+
+
+class SparseFormat(abc.ABC):
+    """Abstract sparse storage format.
+
+    Subclasses set ``name`` (registry key), ``category`` ("state-of-practice"
+    or "research" — the paper's two groups) and ``device_classes`` (which of
+    cpu/gpu/fpga the format is used on in Table II).
+    """
+
+    name: str = "abstract"
+    category: str = "state-of-practice"
+    device_classes = ("cpu", "gpu")
+
+    @classmethod
+    @abc.abstractmethod
+    def from_csr(cls, mat: CSRMatrix) -> "SparseFormat":
+        """Convert from CSR.  Raises :class:`FormatError` when infeasible."""
+
+    @abc.abstractmethod
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR (used by round-trip verification)."""
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``y = A @ x``."""
+
+    @abc.abstractmethod
+    def stats(self) -> FormatStats:
+        """Structural statistics for the performance model."""
+
+    # Convenience -------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def shape(self):
+        """(n_rows, n_cols)."""
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Useful (non-padding) nonzeros."""
+
+    def memory_bytes(self) -> int:
+        return self.stats().memory_bytes
+
+    def memory_mb(self) -> float:
+        return self.memory_bytes() / (1024.0 * 1024.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        r, c = self.shape
+        return f"<{type(self).__name__} {r}x{c} nnz={self.nnz}>"
+
+
+FORMAT_REGISTRY: Dict[str, Type[SparseFormat]] = {}
+
+
+def register_format(cls: Type[SparseFormat]) -> Type[SparseFormat]:
+    """Class decorator adding a format to the global registry."""
+    if cls.name in FORMAT_REGISTRY:
+        raise ValueError(f"duplicate format name {cls.name!r}")
+    FORMAT_REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_format(name: str) -> Type[SparseFormat]:
+    """Look up a format class by registry name."""
+    try:
+        return FORMAT_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; available: "
+            f"{sorted(FORMAT_REGISTRY)}"
+        ) from None
+
+
+def available_formats(
+    device_class: Optional[str] = None, category: Optional[str] = None
+) -> List[str]:
+    """Registry names, optionally filtered by device class / category."""
+    names = []
+    for name, cls in sorted(FORMAT_REGISTRY.items()):
+        if device_class is not None and device_class not in cls.device_classes:
+            continue
+        if category is not None and cls.category != category:
+            continue
+        names.append(name)
+    return names

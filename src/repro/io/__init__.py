@@ -1,0 +1,3 @@
+"""I/O: MatrixMarket matrices and CSV measurement tables."""
+from .mtx import read_mtx, write_mtx
+from .csvio import write_rows, read_rows

@@ -1,0 +1,52 @@
+"""CSV persistence for measurement tables.
+
+Sweeps over the medium dataset take minutes; persisting the flat result
+table lets the analysis benches and the ML experiments re-use one sweep.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+__all__ = ["write_rows", "read_rows"]
+
+
+def write_rows(path: Union[str, Path], rows: Sequence[dict]) -> None:
+    """Write dict rows as CSV (union of keys, sorted header)."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return
+    keys = sorted({k for r in rows for k in r})
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=keys)
+        writer.writeheader()
+        for r in rows:
+            writer.writerow(r)
+
+
+def read_rows(path: Union[str, Path]) -> List[dict]:
+    """Read CSV rows back, converting numeric strings to int/float."""
+    path = Path(path)
+    text = path.read_text()
+    if not text.strip():
+        return []
+    out: List[dict] = []
+    with open(path, newline="") as fh:
+        for raw in csv.DictReader(fh):
+            row = {}
+            for k, v in raw.items():
+                if v is None or v == "":
+                    row[k] = v
+                    continue
+                try:
+                    row[k] = int(v)
+                except ValueError:
+                    try:
+                        row[k] = float(v)
+                    except ValueError:
+                        row[k] = v
+            out.append(row)
+    return out

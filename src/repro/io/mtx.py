@@ -1,0 +1,90 @@
+"""MatrixMarket coordinate I/O.
+
+SuiteSparse distributes matrices as ``.mtx`` files; this reader/writer
+covers the coordinate subset the collection uses (real / integer /
+pattern, general / symmetric / skew-symmetric) so downstream users can run
+the harness on real matrices when they have them.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.matrix import CSRMatrix, csr_from_coo
+
+__all__ = ["read_mtx", "write_mtx"]
+
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_mtx(path: Union[str, Path]) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file (optionally gzipped)."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: missing MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"{path}: malformed header {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValueError(
+                f"{path}: only coordinate matrices are supported"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in _FIELDS:
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in _SYMMETRIES:
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(t) for t in line.split())
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            toks = fh.readline().split()
+            if len(toks) < 2:
+                raise ValueError(f"{path}: truncated at entry {k}")
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            vals[k] = float(toks[2]) if field != "pattern" else 1.0
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirrored_rows = np.concatenate([rows, cols[off]])
+        mirrored_cols = np.concatenate([cols, rows[off]])
+        vals = np.concatenate([vals, sign * vals[off]])
+        rows, cols = mirrored_rows, mirrored_cols
+    return csr_from_coo(n_rows, n_cols, rows, cols, vals)
+
+
+def write_mtx(path: Union[str, Path], mat: CSRMatrix) -> None:
+    """Write a matrix as MatrixMarket coordinate real general."""
+    path = Path(path)
+    rows = np.repeat(
+        np.arange(mat.n_rows, dtype=np.int64), mat.row_lengths
+    )
+    with _open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"% written by repro {mat.n_rows}x{mat.n_cols}\n")
+        fh.write(f"{mat.n_rows} {mat.n_cols} {mat.nnz}\n")
+        for r, c, v in zip(rows, mat.indices, mat.data):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")

@@ -1,0 +1,3 @@
+"""Host SpMV execution, timing and correctness verification."""
+from .spmv import spmv_reference, time_spmv, make_x, HostTiming
+from .verify import verify_format, verify_all_formats, VerifyResult

@@ -1,0 +1,76 @@
+"""Host SpMV execution and timing.
+
+The device models *predict* performance; this module *runs* the NumPy
+kernels on the host for correctness verification and for the
+pytest-benchmark suite (bench_kernels), following the paper's measurement
+protocol: warm-up, fixed iteration count, GFLOPS from useful flops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.matrix import CSRMatrix
+from ..formats.base import SparseFormat, get_format
+
+__all__ = ["spmv_reference", "HostTiming", "time_spmv", "make_x"]
+
+
+def spmv_reference(mat: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Reference ``y = A @ x`` (delegates to the validated CSR kernel)."""
+    return mat.spmv(x)
+
+
+def make_x(n_cols: int, seed: int = 0) -> np.ndarray:
+    """Deterministic dense input vector in [0.5, 1.5) (away from zero so
+    cancellation does not mask kernel bugs)."""
+    rng = np.random.default_rng(seed)
+    return rng.random(n_cols) + 0.5
+
+
+@dataclass(frozen=True)
+class HostTiming:
+    """Result of a host kernel timing run."""
+
+    format: str
+    iterations: int
+    seconds_per_iter: float
+    gflops: float
+    nnz: int
+
+
+def time_spmv(
+    fmt: SparseFormat,
+    x: Optional[np.ndarray] = None,
+    iterations: int = 16,
+    warmup: int = 2,
+) -> HostTiming:
+    """Time ``fmt.spmv`` on the host (paper protocol: warm-up + average).
+
+    Useful flops are ``2 * nnz`` regardless of padding, matching how the
+    paper converts time to GFLOPS.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    n_cols = fmt.shape[1]
+    if x is None:
+        x = make_x(n_cols)
+    for _ in range(warmup):
+        fmt.spmv(x)
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        y = fmt.spmv(x)
+    elapsed = (time.perf_counter() - t0) / iterations
+    del y
+    flops = 2.0 * fmt.nnz
+    return HostTiming(
+        format=fmt.name,
+        iterations=iterations,
+        seconds_per_iter=elapsed,
+        gflops=flops / max(elapsed, 1e-12) / 1e9,
+        nnz=fmt.nnz,
+    )

@@ -1,0 +1,7 @@
+"""From-scratch ML substrate for feature-based performance prediction."""
+from .linear import LinearRegression, RidgeRegression
+from .tree import DecisionTreeRegressor
+from .forest import RandomForestRegressor
+from .knn import KNeighborsRegressor
+from .metrics import mape_score, rmse, r2_score, train_test_split, kfold
+from .selector import FormatSelector, SelectionReport

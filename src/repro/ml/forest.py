@@ -1,0 +1,63 @@
+"""Random-forest regressor: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees.
+
+    Each tree is fitted on a bootstrap resample with ``max_features``
+    candidate features per split (default: ceil(sqrt(d))).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_leaf: int = 3,
+        max_features: Optional[int] = None,
+        random_state: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_ = []
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
+            raise ValueError("bad training shapes")
+        rng = np.random.default_rng(self.random_state)
+        d = X.shape[1]
+        m = self.max_features or max(1, int(np.ceil(np.sqrt(d))))
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            idx = rng.integers(0, len(y), size=len(y))
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=m,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model not fitted")
+        preds = np.stack([t.predict(X) for t in self.trees_])
+        return preds.mean(axis=0)

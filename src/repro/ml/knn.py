@@ -1,0 +1,57 @@
+"""k-nearest-neighbour regressor on standardised features.
+
+The natural model for the paper's "friends" idea: a matrix's performance
+is predicted by feature-space neighbours.  Distances are computed in one
+vectorised pass; features are z-scored so MB-scale and [0, 1]-scale axes
+contribute comparably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor:
+    """Uniform or inverse-distance-weighted k-NN regression."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X = None
+        self._y = None
+        self._mu = None
+        self._sd = None
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
+            raise ValueError("bad training shapes")
+        self._mu = X.mean(axis=0)
+        self._sd = X.std(axis=0)
+        self._sd[self._sd == 0] = 1.0
+        self._X = (X - self._mu) / self._sd
+        self._y = y
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        Xs = (X - self._mu) / self._sd
+        k = min(self.n_neighbors, len(self._y))
+        # (n_query, n_train) distance matrix in one shot.
+        d2 = ((Xs[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+        nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        ys = self._y[nn]
+        if self.weights == "uniform":
+            return ys.mean(axis=1)
+        dist = np.sqrt(np.take_along_axis(d2, nn, axis=1))
+        w = 1.0 / np.maximum(dist, 1e-12)
+        return (ys * w).sum(axis=1) / w.sum(axis=1)

@@ -1,0 +1,75 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+Closed-form normal-equation solvers on standardised features; used as the
+weakest baseline in the performance-prediction experiments (SpMV
+performance is strongly non-linear in the features, which is the point the
+tree models make).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+class LinearRegression:
+    """Ordinary least squares with intercept.
+
+    Features are standardised internally for conditioning; coefficients
+    are reported in the original feature scale.
+    """
+
+    def __init__(self):
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        mu = X.mean(axis=0)
+        sd = X.std(axis=0)
+        sd[sd == 0] = 1.0
+        Xs = (X - mu) / sd
+        A = np.column_stack([np.ones(len(Xs)), Xs])
+        beta, *_ = np.linalg.lstsq(A, y, rcond=None)
+        self.coef_ = beta[1:] / sd
+        self.intercept_ = float(beta[0] - (self.coef_ * mu).sum())
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularised least squares (standardised features)."""
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("bad shapes")
+        mu = X.mean(axis=0)
+        sd = X.std(axis=0)
+        sd[sd == 0] = 1.0
+        Xs = (X - mu) / sd
+        n_feat = Xs.shape[1]
+        G = Xs.T @ Xs + self.alpha * np.eye(n_feat)
+        b = Xs.T @ (y - y.mean())
+        w = np.linalg.solve(G, b)
+        self.coef_ = w / sd
+        self.intercept_ = float(y.mean() - (self.coef_ * mu).sum())
+        return self

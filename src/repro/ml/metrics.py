@@ -1,0 +1,77 @@
+"""Regression metrics and data-splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["mape_score", "rmse", "r2_score", "train_test_split", "kfold"]
+
+
+def mape_score(y_true, y_pred) -> float:
+    """Mean absolute percentage error (percent), ignoring zero targets."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    mask = y_true != 0
+    if not mask.any():
+        return 0.0
+    return float(
+        100.0
+        * np.mean(np.abs(y_pred[mask] - y_true[mask]) / np.abs(y_true[mask]))
+    )
+
+
+def rmse(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 0 for a constant-target degenerate."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 0.0
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    return 1.0 - ss_res / ss_tot
+
+
+def train_test_split(
+    X, y, test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("length mismatch")
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(y))
+    n_test = max(1, int(round(test_fraction * len(y))))
+    test, train = order[:n_test], order[n_test:]
+    return X[train], X[test], y[train], y[test]
+
+
+def kfold(
+    n_samples: int, n_splits: int = 5, seed: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs for shuffled k-fold CV."""
+    if n_splits < 2 or n_splits > n_samples:
+        raise ValueError("need 2 <= n_splits <= n_samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, n_splits)
+    for i in range(n_splits):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(n_splits) if j != i])
+        yield train, test

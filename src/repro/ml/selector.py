@@ -1,0 +1,137 @@
+"""Feature-based format selection.
+
+The paper's related-work line (SMAT [4], BestSF [14], ...) trains
+predictors that pick the best storage format from matrix features.
+:class:`FormatSelector` packages that workflow on top of the repro stack:
+one regressor per candidate format, trained on (five-feature vector ->
+GFLOPS) pairs from a sweep; selection is the argmax of predicted GFLOPS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .forest import RandomForestRegressor
+
+__all__ = ["FormatSelector", "SelectionReport"]
+
+MINIMAL_FEATURES = [
+    "mem_footprint_mb",
+    "avg_nnz_per_row",
+    "skew_coeff",
+    "cross_row_similarity",
+    "avg_num_neighbours",
+]
+
+
+class SelectionReport(dict):
+    """Evaluation summary: accuracy + performance retained vs oracle."""
+
+    @property
+    def accuracy(self) -> float:
+        return self["top1_accuracy"]
+
+    @property
+    def retained(self) -> float:
+        return self["mean_retained"]
+
+
+class FormatSelector:
+    """Predict the best storage format for a matrix from its features.
+
+    Parameters
+    ----------
+    formats:
+        Candidate format names (e.g. a device's Table-II list).
+    feature_keys:
+        Feature-dict keys used as the input vector (default: the paper's
+        minimal five).
+    model_factory:
+        Zero-argument callable returning a fresh regressor with
+        ``fit``/``predict`` (default: a 25-tree random forest).
+    """
+
+    def __init__(
+        self,
+        formats: Sequence[str],
+        feature_keys: Optional[Sequence[str]] = None,
+        model_factory=None,
+    ):
+        if not formats:
+            raise ValueError("need at least one candidate format")
+        self.formats = list(formats)
+        self.feature_keys = list(feature_keys or MINIMAL_FEATURES)
+        self._factory = model_factory or (
+            lambda: RandomForestRegressor(n_estimators=25, random_state=0)
+        )
+        self._models: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _vector(self, features: dict) -> np.ndarray:
+        return np.array(
+            [np.log1p(abs(float(features[k]))) for k in self.feature_keys]
+        )
+
+    def fit(self, rows: Sequence[dict]) -> "FormatSelector":
+        """Train from sweep rows: dicts with the feature keys plus
+        ``format`` and ``gflops``.
+
+        A format that refused a matrix simply has no row for it; the model
+        treats missing observations as zero performance for that matrix.
+        """
+        by_matrix: Dict[str, dict] = {}
+        perf: Dict[str, Dict[str, float]] = {}
+        for r in rows:
+            key = r.get("matrix") or id(r)
+            by_matrix[key] = r
+            perf.setdefault(key, {})[r["format"]] = r["gflops"]
+        if not by_matrix:
+            raise ValueError("no training rows")
+        keys = list(by_matrix)
+        X = np.array([self._vector(by_matrix[k]) for k in keys])
+        for fmt in self.formats:
+            y = np.array([perf[k].get(fmt, 0.0) for k in keys])
+            self._models[fmt] = self._factory().fit(X, y)
+        return self
+
+    def predict_gflops(self, features: dict) -> Dict[str, float]:
+        """Predicted GFLOPS for every candidate format."""
+        if not self._models:
+            raise RuntimeError("selector not fitted")
+        x = self._vector(features)[None, :]
+        return {
+            fmt: float(model.predict(x)[0])
+            for fmt, model in self._models.items()
+        }
+
+    def select(self, features: dict) -> str:
+        """The format with the highest predicted GFLOPS."""
+        scores = self.predict_gflops(features)
+        return max(scores, key=scores.get)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, rows: Sequence[dict]) -> SelectionReport:
+        """Top-1 accuracy and oracle-relative performance on held-out rows
+        (same schema as :meth:`fit`)."""
+        perf: Dict[str, Dict[str, float]] = {}
+        feats: Dict[str, dict] = {}
+        for r in rows:
+            key = r.get("matrix") or id(r)
+            perf.setdefault(key, {})[r["format"]] = r["gflops"]
+            feats[key] = r
+        if not perf:
+            raise ValueError("no evaluation rows")
+        hits, retained = 0, []
+        for key, truth in perf.items():
+            oracle = max(truth, key=truth.get)
+            chosen = self.select(feats[key])
+            hits += chosen == oracle
+            retained.append(truth.get(chosen, 0.0) / truth[oracle])
+        return SelectionReport(
+            top1_accuracy=hits / len(perf),
+            mean_retained=float(np.mean(retained)),
+            worst_retained=float(np.min(retained)),
+            n_matrices=len(perf),
+        )

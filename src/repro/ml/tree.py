@@ -1,0 +1,161 @@
+"""CART regression tree (variance-reduction splits), vectorised.
+
+The split search evaluates every candidate threshold of a feature in one
+NumPy pass (prefix sums of sorted targets), giving an O(n log n) per-node
+cost without Python inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(X, y, min_leaf):
+    """Best (feature, threshold, sse) over all features, or None.
+
+    For each feature, candidates are midpoints between consecutive distinct
+    sorted values; split SSE is computed from prefix sums.
+    """
+    n, d = X.shape
+    total = y.sum()
+    total_sq = (y**2).sum()
+    best = None  # (sse, feature, threshold)
+    for j in range(d):
+        order = np.argsort(X[:, j], kind="stable")
+        xs = X[order, j]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csum_sq = np.cumsum(ys**2)
+        # split after position i (left = first i+1 points)
+        k = np.arange(1, n)  # left sizes
+        valid = (xs[1:] != xs[:-1]) & (k >= min_leaf) & (n - k >= min_leaf)
+        if not valid.any():
+            continue
+        left_sum = csum[:-1]
+        left_sq = csum_sq[:-1]
+        right_sum = total - left_sum
+        right_sq = total_sq - left_sq
+        sse = (
+            left_sq - left_sum**2 / k
+            + right_sq - right_sum**2 / (n - k)
+        )
+        sse = np.where(valid, sse, np.inf)
+        i = int(np.argmin(sse))
+        if np.isfinite(sse[i]) and (best is None or sse[i] < best[0]):
+            best = (float(sse[i]), j, float((xs[i] + xs[i + 1]) / 2.0))
+    return best
+
+
+class DecisionTreeRegressor:
+    """Regression tree with depth / leaf-size / impurity stopping rules."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 3,
+        min_impurity_decrease: float = 0.0,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
+            raise ValueError("bad training shapes")
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(X, y, depth=0, rng=rng)
+        return self
+
+    def _grow(self, X, y, depth, rng) -> _Node:
+        node = _Node(value=float(y.mean()))
+        n = len(y)
+        if (
+            depth >= self.max_depth
+            or n < 2 * self.min_samples_leaf
+            or np.all(y == y[0])
+        ):
+            return node
+        # Feature subsampling (used by the random forest).
+        if self.max_features and self.max_features < X.shape[1]:
+            feats = rng.choice(
+                X.shape[1], size=self.max_features, replace=False
+            )
+        else:
+            feats = np.arange(X.shape[1])
+        found = _best_split(X[:, feats], y, self.min_samples_leaf)
+        if found is None:
+            return node
+        sse, j_local, thr = found
+        parent_sse = float(((y - y.mean()) ** 2).sum())
+        if parent_sse - sse < self.min_impurity_decrease * max(n, 1):
+            return node
+        j = int(feats[j_local])
+        mask = X[:, j] <= thr
+        node.feature = j
+        node.threshold = thr
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("bad predict shape")
+        out = np.empty(len(X), dtype=np.float64)
+        # Iterative routing, vectorised per node via index partitions.
+        stack = [(self._root, np.arange(len(X)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def depth(self) -> int:
+        """Realised depth of the fitted tree."""
+        def _d(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        if self._root is None:
+            raise RuntimeError("model not fitted")
+        return _d(self._root)

@@ -1,0 +1,4 @@
+"""Structure-aware SpMV performance simulator."""
+from .instance import MatrixInstance
+from .simulator import SpmvMeasurement, simulate_spmv, simulate_best, BOTTLENECKS
+from .noise import measurement_noise, NOISE_SIGMA

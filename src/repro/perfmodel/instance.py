@@ -1,0 +1,161 @@
+"""Matrix instances: a materialised matrix plus its declared full scale.
+
+Full-size paper matrices reach 2 GB in CSR; materialising thousands of
+those in pure Python is infeasible, so dataset entries carry a
+*representative* matrix (structurally faithful, capped nnz) together with
+the declared :class:`~repro.core.generator.MatrixSpec`.  Scale-free
+statistics (locality, padding ratios, SIMD utilisation) are measured on
+the representative; size-dependent quantities (footprint, row count, the
+row-length profile used for imbalance) come from the declared spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.features import Features, extract_features
+from ..core.generator import MatrixSpec, row_length_profile
+from ..core.matrix import CSRMatrix
+from ..formats.base import FormatError, FormatStats, get_format
+
+__all__ = ["MatrixInstance"]
+
+# Imbalance statistics converge long before this many rows; the cap bounds
+# profile memory for multi-GB declared matrices.
+MAX_PROFILE_ROWS = 2_000_000
+
+
+@dataclass
+class MatrixInstance:
+    """A matrix to simulate: representative structure + declared scale."""
+
+    matrix: CSRMatrix
+    spec: Optional[MatrixSpec] = None
+    name: str = ""
+
+    def __post_init__(self):
+        self._features: Optional[Features] = None
+        self._profile: Optional[np.ndarray] = None
+        self._format_stats: Dict[str, FormatStats] = {}
+        self._format_fail: Dict[str, str] = {}
+
+    # -- declared scale -------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.spec.n_rows if self.spec else self.matrix.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self.spec.n_cols if self.spec else self.matrix.n_cols
+
+    @property
+    def nnz(self) -> int:
+        if self.spec is None:
+            return self.matrix.nnz
+        # Preserve the representative's realised density rather than the
+        # nominal average (generation is stochastic).
+        return int(round(self.matrix.nnz * self.scale))
+
+    @property
+    def scale(self) -> float:
+        """Declared rows over representative rows (>= 1)."""
+        if self.spec is None:
+            return 1.0
+        return max(1.0, self.spec.n_rows / max(self.matrix.n_rows, 1))
+
+    @property
+    def mem_footprint_mb(self) -> float:
+        """Declared CSR footprint (paper f1)."""
+        return (self.nnz * 12.0 + (self.n_rows + 1) * 4.0) / (1024**2)
+
+    # -- cached statistics ----------------------------------------------
+    @property
+    def features(self) -> Features:
+        """Measured features, with the footprint at declared scale."""
+        if self._features is None:
+            measured = extract_features(self.matrix)
+            self._features = replace(
+                measured,
+                mem_footprint_mb=self.mem_footprint_mb,
+                n_rows=self.n_rows,
+                n_cols=self.n_cols,
+                nnz=self.nnz,
+            )
+        return self._features
+
+    def row_profile(self) -> np.ndarray:
+        """Row-length profile at declared scale (capped), for imbalance.
+
+        For un-scaled instances this is simply the measured row lengths;
+        for scaled ones the profile is regenerated from the spec at (up to)
+        ``MAX_PROFILE_ROWS`` rows so heavy rows keep their true *fraction*
+        of the total work.
+        """
+        if self._profile is None:
+            if self.spec is None or self.scale <= 1.0:
+                self._profile = self.matrix.row_lengths
+            else:
+                rows = min(self.spec.n_rows, MAX_PROFILE_ROWS)
+                rng = np.random.default_rng(self.spec.seed)
+                self._profile = row_length_profile(
+                    rows,
+                    self.spec.n_cols,
+                    self.spec.avg_nnz_per_row,
+                    self.spec.std_ratio * self.spec.avg_nnz_per_row,
+                    self.spec.skew_coeff,
+                    rng,
+                    self.spec.distribution,
+                )
+        return self._profile
+
+    def format_stats(self, format_name: str) -> FormatStats:
+        """Convert once per format and cache the structural statistics.
+
+        Raises :class:`FormatError` (replayed from cache) when the format
+        refuses the matrix.
+        """
+        if format_name in self._format_fail:
+            raise FormatError(self._format_fail[format_name])
+        if format_name not in self._format_stats:
+            cls = get_format(format_name)
+            try:
+                fmt = cls.from_csr(self.matrix)
+            except FormatError as exc:
+                self._format_fail[format_name] = str(exc)
+                raise
+            stats = fmt.stats()
+            # Rectangular representatives dilute per-column populations,
+            # which overstates the padding of column-density-sensitive
+            # formats; those expose a density-corrected estimate.
+            if hasattr(fmt, "stats_at_density"):
+                rep_density = self.matrix.nnz / max(self.matrix.n_cols, 1)
+                dec_density = self.nnz / max(self.n_cols, 1)
+                if rep_density > 0 and (
+                    abs(dec_density / rep_density - 1.0) > 0.05
+                ):
+                    stats = fmt.stats_at_density(
+                        dec_density / type(fmt).N_CHANNELS
+                    )
+            self._format_stats[format_name] = stats
+        return self._format_stats[format_name]
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        spec: MatrixSpec,
+        max_nnz: int = 200_000,
+        name: str = "",
+    ) -> "MatrixInstance":
+        """Build the representative matrix for ``spec`` and wrap it."""
+        return cls(matrix=spec.build(max_nnz=max_nnz), spec=spec, name=name)
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: CSRMatrix, name: str = ""
+    ) -> "MatrixInstance":
+        """Wrap a fully materialised matrix (no scaling)."""
+        return cls(matrix=matrix, spec=None, name=name)

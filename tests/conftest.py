@@ -1,0 +1,87 @@
+"""Shared fixtures: small deterministic matrices covering the archetypes."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import artificial_matrix_generation
+from repro.core.matrix import CSRMatrix, csr_from_dense
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dense():
+    """Hand-written 4x5 matrix with known features."""
+    return np.array(
+        [
+            [1.0, 2.0, 0.0, 0.0, 0.0],   # run of 2
+            [0.0, 3.0, 4.0, 0.0, 5.0],   # run of 2 + singleton
+            [0.0, 0.0, 0.0, 0.0, 0.0],   # empty row
+            [6.0, 0.0, 0.0, 0.0, 7.0],   # two singletons
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_csr(tiny_dense):
+    return csr_from_dense(tiny_dense)
+
+
+@pytest.fixture(scope="session")
+def regular_matrix():
+    """Balanced, clustered, similar rows (the 'friendly' archetype)."""
+    return artificial_matrix_generation(
+        600, 600, 12, skew_coeff=1, bw_scaled=0.3,
+        cross_row_sim=0.8, avg_num_neigh=1.4, seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def skewed_matrix():
+    """Heavy-tailed row lengths (imbalance archetype)."""
+    return artificial_matrix_generation(
+        2000, 2000, 8, skew_coeff=100, bw_scaled=0.4,
+        cross_row_sim=0.3, avg_num_neigh=0.5, seed=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def irregular_matrix():
+    """Scattered accesses (latency archetype)."""
+    return artificial_matrix_generation(
+        800, 800, 10, skew_coeff=2, bw_scaled=0.9,
+        cross_row_sim=0.05, avg_num_neigh=0.05, seed=9,
+    )
+
+
+@pytest.fixture(scope="session")
+def banded_matrix():
+    """Narrow band: DIA/BCSR-friendly."""
+    n = 300
+    dense = np.zeros((n, n))
+    for off in (-1, 0, 1):
+        idx = np.arange(max(0, -off), min(n, n - off))
+        dense[idx, idx + off] = 1.0 + idx
+    return csr_from_dense(dense)
+
+
+@pytest.fixture(scope="session")
+def all_archetypes(tiny_csr, regular_matrix, skewed_matrix,
+                   irregular_matrix, banded_matrix):
+    return {
+        "tiny": tiny_csr,
+        "regular": regular_matrix,
+        "skewed": skewed_matrix,
+        "irregular": irregular_matrix,
+        "banded": banded_matrix,
+    }
+
+
+def empty_matrix(n_rows=5, n_cols=7) -> CSRMatrix:
+    return CSRMatrix(
+        n_rows, n_cols, np.zeros(n_rows + 1, dtype=np.int64),
+        np.zeros(0, dtype=np.int32), np.zeros(0),
+    )

@@ -1,0 +1,80 @@
+"""Table-I feature space and dataset presets."""
+
+import pytest
+
+from repro.core.feature_space import (
+    DATASET_PRESETS,
+    TABLE_I_SPACE,
+    build_dataset_specs,
+    dataset_scale_from_env,
+)
+
+
+class TestTableISpace:
+    def test_axes_match_paper(self):
+        assert TABLE_I_SPACE.footprint_bins == (
+            (4.0, 32.0), (32.0, 512.0), (512.0, 2048.0)
+        )
+        assert TABLE_I_SPACE.avg_nnz_per_row == (5, 10, 20, 50, 100, 500)
+        assert TABLE_I_SPACE.skew_coeff == (0, 100, 1000, 10000)
+        assert TABLE_I_SPACE.cross_row_sim == (0.05, 0.5, 0.95)
+        assert TABLE_I_SPACE.avg_num_neigh == (0.05, 0.5, 0.95, 1.4, 1.9)
+
+    def test_combination_count(self):
+        # 3 bins x 6 x 4 x 3 x 5 x 3 bw = 3240 combos per footprint sample
+        assert TABLE_I_SPACE.n_combinations() == 3240
+
+
+class TestPresets:
+    def test_relative_sizes(self):
+        tiny = build_dataset_specs("tiny")
+        small = build_dataset_specs("small")
+        medium = build_dataset_specs("medium")
+        assert len(tiny) < len(small) < len(medium)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            build_dataset_specs("gigantic")
+
+    def test_determinism(self):
+        a = build_dataset_specs("tiny", seed=3)
+        b = build_dataset_specs("tiny", seed=3)
+        assert a == b
+
+    def test_seed_varies_footprints(self):
+        a = build_dataset_specs("tiny", seed=1)
+        b = build_dataset_specs("tiny", seed=2)
+        assert any(x.n_rows != y.n_rows for x, y in zip(a, b))
+
+    def test_footprints_in_bins(self):
+        specs = build_dataset_specs("tiny")
+        lo = min(s.mem_footprint_mb for s in specs)
+        hi = max(s.mem_footprint_mb for s in specs)
+        assert lo >= 3.0  # rounding slack below the 4 MB bin edge
+        assert hi <= 2200.0
+
+    def test_qualitative_axes_covered(self):
+        specs = build_dataset_specs("small")
+        assert {s.avg_nnz_per_row for s in specs} == set(
+            TABLE_I_SPACE.avg_nnz_per_row
+        )
+        assert {s.skew_coeff for s in specs} == set(TABLE_I_SPACE.skew_coeff)
+
+
+class TestEnvScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert dataset_scale_from_env() == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert dataset_scale_from_env() == "medium"
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "nope")
+        with pytest.raises(KeyError):
+            dataset_scale_from_env()
+
+    def test_all_presets_resolvable(self):
+        for name in DATASET_PRESETS:
+            assert build_dataset_specs(name, seed=0)

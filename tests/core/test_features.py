@@ -1,0 +1,172 @@
+"""Feature extraction: hand-verified values on small matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    Features,
+    avg_num_neighbours,
+    cross_row_similarity,
+    extract_features,
+    regularity_class,
+    scaled_bandwidth,
+    skew_coefficient,
+)
+from repro.core.matrix import csr_from_dense
+from tests.conftest import empty_matrix
+
+
+class TestSkew:
+    def test_uniform_rows_zero_skew(self):
+        assert skew_coefficient(np.array([4, 4, 4])) == 0.0
+
+    def test_definition(self):
+        # avg = 2, max = 4 -> (4 - 2) / 2 = 1
+        assert skew_coefficient(np.array([1, 1, 4, 2])) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert skew_coefficient(np.array([])) == 0.0
+
+    def test_all_zero_rows(self):
+        assert skew_coefficient(np.zeros(5)) == 0.0
+
+
+class TestNeighbours:
+    def test_single_full_run(self):
+        # One row [1,1,1]: ends have 1 neighbour, middle 2 -> avg 4/3.
+        m = csr_from_dense(np.array([[1.0, 1.0, 1.0]]))
+        assert avg_num_neighbours(m) == pytest.approx(4.0 / 3.0)
+
+    def test_isolated_elements(self):
+        m = csr_from_dense(np.array([[1.0, 0.0, 1.0, 0.0, 1.0]]))
+        assert avg_num_neighbours(m) == 0.0
+
+    def test_pair(self):
+        m = csr_from_dense(np.array([[1.0, 1.0, 0.0]]))
+        assert avg_num_neighbours(m) == pytest.approx(1.0)
+
+    def test_range_bounds(self, regular_matrix):
+        v = avg_num_neighbours(regular_matrix)
+        assert 0.0 <= v <= 2.0
+
+    def test_distance_parameter(self):
+        m = csr_from_dense(np.array([[1.0, 0.0, 1.0]]))
+        assert avg_num_neighbours(m, distance=1) == 0.0
+        assert avg_num_neighbours(m, distance=2) == pytest.approx(1.0)
+
+    def test_rows_do_not_bleed(self):
+        # Adjacent columns in *different* rows are not neighbours.
+        m = csr_from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert avg_num_neighbours(m) == 0.0
+
+    def test_empty(self):
+        assert avg_num_neighbours(empty_matrix()) == 0.0
+
+
+class TestCrossRowSimilarity:
+    def test_identical_rows(self):
+        m = csr_from_dense(
+            np.array([[1.0, 0.0, 1.0], [1.0, 0.0, 1.0]])
+        )
+        # All of row 0's elements find a same-column neighbour below; row 1
+        # has no successor and is excluded.
+        assert cross_row_similarity(m) == pytest.approx(1.0)
+
+    def test_disjoint_far_rows(self):
+        m = csr_from_dense(
+            np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 0.0, 0.0, 1.0]])
+        )
+        assert cross_row_similarity(m) == 0.0
+
+    def test_adjacent_column_counts(self):
+        # (0,0) has a neighbour at (1,1) within distance 1.
+        m = csr_from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert cross_row_similarity(m) == pytest.approx(1.0)
+
+    def test_partial_fraction(self):
+        # Row 0: cols {0, 3}; row 1: col {0} -> fraction 1/2.
+        m = csr_from_dense(
+            np.array([[1.0, 0.0, 0.0, 1.0], [1.0, 0.0, 0.0, 0.0],
+                      [0.0, 0.0, 0.0, 0.0]])
+        )
+        # Row 1 has no hits against empty row 2 -> 0; average (0.5 + 0)/2.
+        assert cross_row_similarity(m) == pytest.approx(0.25)
+
+    def test_single_row(self):
+        m = csr_from_dense(np.array([[1.0, 1.0]]))
+        assert cross_row_similarity(m) == 0.0
+
+    def test_range(self, skewed_matrix):
+        assert 0.0 <= cross_row_similarity(skewed_matrix) <= 1.0
+
+
+class TestBandwidth:
+    def test_full_width_row(self):
+        m = csr_from_dense(np.array([[1.0, 0.0, 1.0]]))
+        assert scaled_bandwidth(m) == pytest.approx(1.0)
+
+    def test_single_element_rows(self):
+        m = csr_from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert scaled_bandwidth(m) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert scaled_bandwidth(empty_matrix()) == 0.0
+
+
+class TestExtract:
+    def test_full_vector_consistency(self, tiny_csr):
+        f = extract_features(tiny_csr)
+        assert f.nnz == 7
+        assert f.n_rows == 4
+        assert f.avg_nnz_per_row == pytest.approx(7 / 4)
+        assert f.max_nnz_per_row == 3
+        assert f.min_nnz_per_row == 0
+        assert f.empty_row_fraction == pytest.approx(0.25)
+        assert f.mem_footprint_mb == tiny_csr.memory_mb()
+
+    def test_minimal_vector_order(self, tiny_csr):
+        f = extract_features(tiny_csr)
+        v = f.minimal_vector()
+        assert v[0] == f.mem_footprint_mb
+        assert v[1] == f.avg_nnz_per_row
+        assert v[2] == f.skew_coeff
+        assert v[3] == f.cross_row_similarity
+        assert v[4] == f.avg_num_neighbours
+
+    def test_full_vector_length_matches_dict(self, tiny_csr):
+        f = extract_features(tiny_csr)
+        assert len(f.full_vector()) == len(f.to_dict())
+
+    def test_generator_targets_recovered(self):
+        from repro.core.generator import artificial_matrix_generation
+
+        m = artificial_matrix_generation(
+            3000, 3000, 20, skew_coeff=0, cross_row_sim=0.5,
+            avg_num_neigh=1.0, seed=3,
+        )
+        f = extract_features(m)
+        assert f.avg_nnz_per_row == pytest.approx(20, rel=0.05)
+        assert f.cross_row_similarity == pytest.approx(0.5, abs=0.08)
+        assert f.avg_num_neighbours == pytest.approx(1.0, abs=0.12)
+
+
+class TestRegularityClass:
+    @pytest.mark.parametrize(
+        "neigh,sim,expected",
+        [
+            (0.1, 0.1, "SS"),
+            (1.0, 0.5, "MM"),
+            (1.8, 0.9, "LL"),
+            (0.2, 0.9, "SL"),
+            (1.8, 0.1, "LS"),
+        ],
+    )
+    def test_labels(self, neigh, sim, expected, tiny_csr):
+        import dataclasses
+
+        f = dataclasses.replace(
+            extract_features(tiny_csr),
+            avg_num_neighbours=neigh,
+            cross_row_similarity=sim,
+        )
+        assert regularity_class(f) == expected

@@ -1,0 +1,42 @@
+"""Property-based generator tests: every parameter corner yields valid CSR
+with in-range measured features."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import extract_features
+from repro.core.generator import artificial_matrix_generation
+
+
+@given(
+    n=st.integers(10, 400),
+    avg=st.floats(1.0, 12.0),
+    skew=st.sampled_from([0.0, 10.0, 100.0]),
+    sim=st.floats(0.0, 1.0),
+    neigh=st.floats(0.0, 2.0),
+    bw=st.floats(0.05, 1.0),
+    seed=st.integers(0, 2**31 - 1),
+    method=st.sampled_from(["chain", "rowwise"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_generator_always_valid(n, avg, skew, sim, neigh, bw, seed, method):
+    m = artificial_matrix_generation(
+        n, n, avg, skew_coeff=skew, bw_scaled=bw,
+        cross_row_sim=sim, avg_num_neigh=neigh, seed=seed, method=method,
+    )
+    m.validate()
+    assert m.shape == (n, n)
+    assert m.has_sorted_indices()
+    f = extract_features(m)
+    assert 0.0 <= f.cross_row_similarity <= 1.0
+    assert 0.0 <= f.avg_num_neighbours <= 2.0
+    assert f.skew_coeff >= 0.0
+    assert 0.0 <= f.bandwidth_scaled <= 1.0
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_nnz_close_to_request(seed):
+    m = artificial_matrix_generation(1500, 1500, 10, seed=seed)
+    # Chain dedup loses a small fraction; never overshoots wildly.
+    assert 0.8 * 15000 <= m.nnz <= 1.2 * 15000

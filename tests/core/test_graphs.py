@@ -1,0 +1,81 @@
+"""Graph-derived matrices (networkx builders)."""
+
+import numpy as np
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.core.features import extract_features
+from repro.core.graphs import (
+    from_networkx,
+    laplacian_matrix,
+    mesh2d_matrix,
+    scale_free_matrix,
+    small_world_matrix,
+)
+
+
+class TestFromNetworkx:
+    def test_undirected_symmetric(self):
+        g = nx.path_graph(4)
+        m = from_networkx(g)
+        dense = m.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert m.nnz == 2 * 3
+
+    def test_directed_preserved(self):
+        g = nx.DiGraph([(0, 1), (1, 2)])
+        m = from_networkx(g)
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 1.0
+        assert m.to_dense()[1, 0] == 0.0
+
+    def test_weighted(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, w=2.5)
+        m = from_networkx(g, weight="w")
+        assert m.to_dense()[0, 1] == 2.5
+
+    def test_empty_graph(self):
+        m = from_networkx(nx.empty_graph(3))
+        assert m.nnz == 0
+        assert m.shape == (3, 3)
+
+
+class TestArchetypes:
+    def test_scale_free_is_skewed(self):
+        m = scale_free_matrix(1500, m=3, seed=1)
+        f = extract_features(m)
+        # Hub nodes make the degree distribution heavy-tailed.
+        assert f.skew_coeff > 5.0
+
+    def test_mesh_is_regular(self):
+        m = mesh2d_matrix(25)
+        f = extract_features(m)
+        assert f.skew_coeff < 1.0
+        assert f.max_nnz_per_row <= 4
+
+    def test_small_world_band(self):
+        m = small_world_matrix(500, k=6, p=0.05, seed=2)
+        f = extract_features(m)
+        assert f.avg_nnz_per_row == pytest.approx(6, abs=0.5)
+
+
+class TestLaplacian:
+    def test_row_sums_zero(self):
+        adj = mesh2d_matrix(10)
+        lap = laplacian_matrix(adj)
+        sums = lap.spmv(np.ones(lap.n_cols))
+        np.testing.assert_allclose(sums, 0.0, atol=1e-12)
+
+    def test_diagonal_is_degree(self):
+        adj = from_networkx(nx.path_graph(3))
+        lap = laplacian_matrix(adj).to_dense()
+        assert lap[0, 0] == 1.0
+        assert lap[1, 1] == 2.0
+
+    def test_rectangular_rejected(self):
+        from repro.core.matrix import csr_from_dense
+
+        with pytest.raises(ValueError):
+            laplacian_matrix(csr_from_dense(np.ones((2, 3))))

@@ -1,0 +1,192 @@
+"""CSRMatrix: invariants, construction, conversions, reference SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import (
+    CSRMatrix,
+    csr_from_coo,
+    csr_from_dense,
+)
+from tests.conftest import empty_matrix
+
+
+class TestValidation:
+    def test_valid_matrix_accepted(self, tiny_csr):
+        tiny_csr.validate()
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(-1, 3, np.zeros(0, np.int64), np.zeros(0, np.int32),
+                      np.zeros(0))
+
+    def test_indptr_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix(1, 2, np.array([1, 1]), np.zeros(0, np.int32),
+                      np.zeros(0))
+
+    def test_indptr_tail_must_match_nnz(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(1, 2, np.array([0, 2]), np.array([0]), np.array([1.0]))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix(2, 3, np.array([0, 2, 1]),
+                      np.array([0], np.int32), np.array([1.0]))
+
+    def test_column_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            CSRMatrix(1, 2, np.array([0, 1]), np.array([5], np.int32),
+                      np.array([1.0]))
+
+    def test_indices_data_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(1, 3, np.array([0, 2]),
+                      np.array([0, 1], np.int32), np.array([1.0]))
+
+
+class TestProperties:
+    def test_nnz_and_shape(self, tiny_csr):
+        assert tiny_csr.nnz == 7
+        assert tiny_csr.shape == (4, 5)
+
+    def test_row_lengths(self, tiny_csr):
+        assert list(tiny_csr.row_lengths) == [2, 3, 0, 2]
+
+    def test_density(self, tiny_csr):
+        assert tiny_csr.density == pytest.approx(7 / 20)
+
+    def test_density_of_empty_dims(self):
+        m = empty_matrix(0, 0)
+        assert m.density == 0.0
+
+    def test_row_view(self, tiny_csr):
+        cols, vals = tiny_csr.row(1)
+        assert list(cols) == [1, 2, 4]
+        assert list(vals) == [3.0, 4.0, 5.0]
+
+    def test_memory_accounting(self, tiny_csr):
+        # 7 nnz * (8 + 4) bytes + 5 row pointers * 4 bytes
+        assert tiny_csr.memory_bytes() == 7 * 12 + 5 * 4
+        assert tiny_csr.memory_mb() == pytest.approx(
+            (7 * 12 + 5 * 4) / 2**20
+        )
+
+    def test_has_sorted_indices(self, tiny_csr):
+        assert tiny_csr.has_sorted_indices()
+
+    def test_unsorted_detected_and_fixed(self):
+        m = CSRMatrix(
+            1, 4, np.array([0, 2]),
+            np.array([3, 1], np.int32), np.array([1.0, 2.0]),
+        )
+        assert not m.has_sorted_indices()
+        s = m.sort_indices()
+        assert s.has_sorted_indices()
+        assert list(s.indices) == [1, 3]
+        assert list(s.data) == [2.0, 1.0]
+
+
+class TestSpMV:
+    def test_matches_dense(self, tiny_dense, tiny_csr):
+        x = np.arange(1.0, 6.0)
+        np.testing.assert_allclose(tiny_csr.spmv(x), tiny_dense @ x)
+
+    def test_matches_scipy(self, regular_matrix, rng):
+        x = rng.random(regular_matrix.n_cols)
+        np.testing.assert_allclose(
+            regular_matrix.spmv(x), regular_matrix.to_scipy() @ x,
+            rtol=1e-9, atol=1e-12,
+        )
+
+    def test_empty_matrix(self):
+        m = empty_matrix()
+        y = m.spmv(np.ones(m.n_cols))
+        np.testing.assert_array_equal(y, np.zeros(m.n_rows))
+
+    def test_shape_mismatch_rejected(self, tiny_csr):
+        with pytest.raises(ValueError, match="shape"):
+            tiny_csr.spmv(np.ones(3))
+
+    def test_linearity(self, regular_matrix, rng):
+        a = rng.random(regular_matrix.n_cols)
+        b = rng.random(regular_matrix.n_cols)
+        lhs = regular_matrix.spmv(2.0 * a + b)
+        rhs = 2.0 * regular_matrix.spmv(a) + regular_matrix.spmv(b)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+class TestConversions:
+    def test_dense_roundtrip(self, tiny_dense, tiny_csr):
+        np.testing.assert_array_equal(tiny_csr.to_dense(), tiny_dense)
+
+    def test_scipy_roundtrip(self, regular_matrix):
+        back = CSRMatrix.from_scipy(regular_matrix.to_scipy())
+        assert back == regular_matrix
+
+    def test_transpose_involution(self, regular_matrix):
+        tt = regular_matrix.transpose().transpose()
+        np.testing.assert_allclose(
+            tt.to_dense(), regular_matrix.to_dense()
+        )
+
+    def test_transpose_matches_dense(self, tiny_dense, tiny_csr):
+        np.testing.assert_array_equal(
+            tiny_csr.transpose().to_dense(), tiny_dense.T
+        )
+
+    def test_equality(self, tiny_csr, regular_matrix):
+        assert tiny_csr == tiny_csr
+        assert tiny_csr != regular_matrix
+        assert (tiny_csr == 42) is False or True  # NotImplemented path
+
+
+class TestCooConstruction:
+    def test_basic(self):
+        m = csr_from_coo(3, 3, [2, 0, 0], [1, 2, 0], [5.0, 2.0, 1.0])
+        dense = np.zeros((3, 3))
+        dense[2, 1], dense[0, 2], dense[0, 0] = 5.0, 2.0, 1.0
+        np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_duplicates_summed(self):
+        m = csr_from_coo(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 4.0])
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 3.0
+
+    def test_duplicates_kept_unsummed_path(self):
+        m = csr_from_coo(
+            2, 2, [0, 1], [1, 0], [1.0, 4.0], sum_duplicates=False
+        )
+        assert m.nnz == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            csr_from_coo(2, 2, [0], [0, 1], [1.0])
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="row"):
+            csr_from_coo(2, 2, [5], [0], [1.0])
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            csr_from_coo(2, 2, [0], [9], [1.0])
+
+    def test_empty_coo(self):
+        m = csr_from_coo(3, 4, [], [], [])
+        assert m.nnz == 0
+        assert m.shape == (3, 4)
+
+
+class TestDenseConstruction:
+    def test_tolerance_drops_small(self):
+        dense = np.array([[1e-12, 1.0], [0.5, 0.0]])
+        m = csr_from_dense(dense, tol=1e-6)
+        assert m.nnz == 2
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            csr_from_dense(np.ones(4))

@@ -1,0 +1,81 @@
+"""Property-based tests of the CSR container (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrix import CSRMatrix, csr_from_coo, csr_from_dense
+
+
+@st.composite
+def coo_triplets(draw, max_dim=12, max_nnz=40):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    return n_rows, n_cols, rows, cols, vals
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_coo_roundtrip_matches_dense_accumulation(triplet):
+    n_rows, n_cols, rows, cols, vals = triplet
+    m = csr_from_coo(n_rows, n_cols, rows, cols, vals)
+    dense = np.zeros((n_rows, n_cols))
+    for r, c, v in zip(rows, cols, vals):
+        dense[r, c] += v
+    np.testing.assert_allclose(m.to_dense(), dense, rtol=1e-12, atol=1e-12)
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_invariants_always_hold(triplet):
+    n_rows, n_cols, rows, cols, vals = triplet
+    m = csr_from_coo(n_rows, n_cols, rows, cols, vals)
+    m.validate()
+    assert m.indptr[-1] == m.nnz
+    assert m.has_sorted_indices() or m.nnz == 0
+    assert int(m.row_lengths.sum()) == m.nnz
+
+
+@given(coo_triplets(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_spmv_matches_dense_product(triplet, seed):
+    n_rows, n_cols, rows, cols, vals = triplet
+    m = csr_from_coo(n_rows, n_cols, rows, cols, vals)
+    x = np.random.default_rng(seed).uniform(-1, 1, n_cols)
+    np.testing.assert_allclose(
+        m.spmv(x), m.to_dense() @ x, rtol=1e-9, atol=1e-9
+    )
+
+
+@given(coo_triplets())
+@settings(max_examples=40, deadline=None)
+def test_transpose_is_involution(triplet):
+    n_rows, n_cols, rows, cols, vals = triplet
+    m = csr_from_coo(n_rows, n_cols, rows, cols, vals)
+    tt = m.transpose().transpose()
+    np.testing.assert_allclose(tt.to_dense(), m.to_dense())
+
+
+@given(
+    st.integers(1, 10), st.integers(1, 10), st.integers(0, 2**31 - 1)
+)
+@settings(max_examples=40, deadline=None)
+def test_dense_roundtrip(n_rows, n_cols, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-1, 1, (n_rows, n_cols))
+    dense[rng.random((n_rows, n_cols)) < 0.5] = 0.0
+    m = csr_from_dense(dense)
+    np.testing.assert_array_equal(m.to_dense(), dense)

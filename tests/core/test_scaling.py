@@ -1,0 +1,62 @@
+"""Down-scaled representatives preserve every scale-free feature.
+
+This validates the central substitution in DESIGN.md: structural statistics
+measured on a capped-nnz instance stand in for the full-size matrix.
+"""
+
+import pytest
+
+from repro.core.features import extract_features
+from repro.core.generator import MatrixSpec
+
+
+@pytest.mark.parametrize(
+    "avg,skew,sim,neigh",
+    [
+        (20, 0, 0.5, 1.0),
+        (10, 100, 0.8, 1.4),
+        (50, 0, 0.05, 0.05),
+    ],
+)
+def test_representative_preserves_scale_free_features(avg, skew, sim, neigh):
+    spec = MatrixSpec.from_footprint(
+        128.0, avg, skew_coeff=skew, cross_row_sim=sim,
+        avg_num_neigh=neigh, seed=5,
+    )
+    big = spec.representative(max_nnz=400_000).build()
+    small = spec.representative(max_nnz=60_000).build()
+    fb, fs = extract_features(big), extract_features(small)
+    assert fs.avg_nnz_per_row == pytest.approx(fb.avg_nnz_per_row, rel=0.12)
+    assert fs.cross_row_similarity == pytest.approx(
+        fb.cross_row_similarity, abs=0.08
+    )
+    assert fs.avg_num_neighbours == pytest.approx(
+        fb.avg_num_neighbours, abs=0.12
+    )
+
+
+def test_representative_noop_when_small():
+    spec = MatrixSpec(n_rows=100, n_cols=100, avg_nnz_per_row=5)
+    assert spec.representative(max_nnz=10_000) is spec
+
+
+def test_representative_keeps_columns_for_skew_head():
+    spec = MatrixSpec.from_footprint(512.0, 5, skew_coeff=10000, seed=1)
+    rep = spec.representative(max_nnz=100_000)
+    # The pinned maximum row (avg * (1 + skew)) must still fit.
+    assert rep.n_cols >= 5 * 10001
+
+
+def test_representative_row_floor():
+    spec = MatrixSpec.from_footprint(2048.0, 500, seed=2)
+    rep = spec.representative(max_nnz=1000)
+    assert rep.n_rows >= 256
+
+
+def test_declared_footprint_survives_scaling():
+    from repro.perfmodel.instance import MatrixInstance
+
+    spec = MatrixSpec.from_footprint(256.0, 20, seed=3)
+    inst = MatrixInstance.from_spec(spec, max_nnz=50_000)
+    assert inst.mem_footprint_mb == pytest.approx(256.0, rel=0.1)
+    assert inst.matrix.nnz <= 80_000  # actually down-scaled

@@ -1,0 +1,116 @@
+"""Table III suite, surrogates, friends and the Table-IV error metrics."""
+
+import pytest
+
+from repro.core.features import extract_features
+from repro.core.validation import (
+    VALIDATION_SUITE,
+    ape_best,
+    friend_specs,
+    mape,
+    surrogate_spec,
+)
+
+
+class TestSuiteContents:
+    def test_45_matrices(self):
+        assert len(VALIDATION_SUITE) == 45
+
+    def test_ids_sequential(self):
+        assert [v.id for v in VALIDATION_SUITE] == list(range(1, 46))
+
+    def test_sorted_by_footprint(self):
+        mbs = [v.mem_footprint_mb for v in VALIDATION_SUITE]
+        assert mbs == sorted(mbs)
+
+    def test_known_entries(self):
+        byname = {v.name: v for v in VALIDATION_SUITE}
+        assert byname["scircuit"].mem_footprint_mb == 11.63
+        assert byname["webbase-1M"].skew_coeff == pytest.approx(1512.43)
+        assert byname["cage15"].avg_nnz_per_row == pytest.approx(19.24)
+        assert byname["mawi_201512012345"].skew_coeff > 1e6
+
+    def test_regularity_labels_wellformed(self):
+        for v in VALIDATION_SUITE:
+            assert len(v.regularity) == 2
+            assert set(v.regularity) <= {"S", "M", "L"}
+
+
+class TestSurrogates:
+    def test_footprint_preserved(self):
+        vm = VALIDATION_SUITE[0]
+        spec = surrogate_spec(vm)
+        assert spec.mem_footprint_mb == pytest.approx(
+            vm.mem_footprint_mb, rel=0.02
+        )
+
+    def test_structural_features_realised(self):
+        vm = VALIDATION_SUITE[2]  # raefsky3: LL, avg 70, skew ~0
+        spec = surrogate_spec(vm)
+        m = spec.build(max_nnz=120_000)
+        f = extract_features(m)
+        assert f.avg_nnz_per_row == pytest.approx(
+            vm.avg_nnz_per_row, rel=0.15
+        )
+        assert f.avg_num_neighbours > 4.0 / 3.0   # "L" class
+        assert f.cross_row_similarity > 2.0 / 3.0  # "L" class
+
+    def test_bad_label_rejected(self):
+        import dataclasses
+
+        vm = dataclasses.replace(VALIDATION_SUITE[0], regularity="XYZ")
+        with pytest.raises(ValueError):
+            surrogate_spec(vm)
+
+
+class TestFriends:
+    def test_count(self):
+        friends = friend_specs(VALIDATION_SUITE[5], n_friends=7)
+        assert len(friends) == 7
+
+    def test_within_30_percent(self):
+        vm = VALIDATION_SUITE[10]
+        for spec in friend_specs(vm, n_friends=20, seed=1):
+            assert (
+                0.69 * vm.mem_footprint_mb
+                <= spec.mem_footprint_mb
+                <= 1.31 * vm.mem_footprint_mb
+            )
+            assert (
+                0.69 * vm.avg_nnz_per_row
+                <= spec.avg_nnz_per_row
+                <= 1.31 * vm.avg_nnz_per_row
+            )
+            assert 0.0 <= spec.cross_row_sim <= 1.0
+            assert 0.0 <= spec.avg_num_neigh <= 2.0
+
+    def test_determinism(self):
+        a = friend_specs(VALIDATION_SUITE[3], n_friends=5, seed=2)
+        b = friend_specs(VALIDATION_SUITE[3], n_friends=5, seed=2)
+        assert a == b
+
+    def test_bad_spread_rejected(self):
+        with pytest.raises(ValueError):
+            friend_specs(VALIDATION_SUITE[0], spread=1.5)
+
+
+class TestErrorMetrics:
+    def test_mape_zero_for_exact(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mape_value(self):
+        assert mape([10.0], [12.0]) == pytest.approx(20.0)
+
+    def test_mape_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape([1.0], [1.0, 2.0])
+
+    def test_mape_ignores_zero_reference(self):
+        assert mape([0.0, 10.0], [5.0, 11.0]) == pytest.approx(10.0)
+
+    def test_ape_best_picks_closest(self):
+        assert ape_best(10.0, [5.0, 9.0, 20.0]) == pytest.approx(10.0)
+
+    def test_ape_best_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ape_best(1.0, [])

@@ -1,0 +1,135 @@
+"""Partitioners: conservation, factor bounds and strategy-specific shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.parallel import (
+    PARTITION_STRATEGIES,
+    element_balanced,
+    imbalance_for_strategy,
+    lockstep_channel_imbalance,
+    merge_path_imbalance,
+    nnz_balanced_rows,
+    nnz_split,
+    row_block_partition,
+    sell_chunk_imbalance,
+    warp_per_row,
+)
+
+# Large enough that tile/diagonal granularity effects are negligible.
+UNIFORM = np.full(16384, 10, dtype=np.int64)
+
+
+def _skewed(n=8192, heavy=50_000, base=5):
+    lengths = np.full(n, base, dtype=np.int64)
+    lengths[0] = heavy
+    return lengths
+
+
+class TestUniformLoads:
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_uniform_is_nearly_balanced(self, strategy):
+        stats = imbalance_for_strategy(strategy, UNIFORM, 16)
+        assert 1.0 <= stats.factor <= 1.1
+
+
+class TestSkewedLoads:
+    def test_row_block_suffers(self):
+        stats = row_block_partition(_skewed(), 16)
+        assert stats.factor > 5.0
+
+    def test_nnz_balanced_bounded_by_heavy_row(self):
+        lengths = _skewed()
+        stats = nnz_balanced_rows(lengths, 16)
+        ideal = lengths.sum() / 16
+        # The heavy row cannot be split: factor ~ heavy / ideal.
+        assert stats.factor == pytest.approx(50_000 / ideal, rel=0.15)
+
+    def test_merge_path_immune(self):
+        stats = merge_path_imbalance(_skewed(), 16)
+        assert stats.factor < 1.01
+
+    def test_element_balanced_immune(self):
+        stats = element_balanced(_skewed(), 16)
+        assert stats.factor == 1.0
+
+    def test_nnz_split_nearly_immune(self):
+        stats = nnz_split(_skewed(), 16)
+        assert stats.factor < 1.5
+
+    def test_warp_row_bounded_by_longest(self):
+        stats = warp_per_row(_skewed(), 64, simd_width=32)
+        # Longest row alone: ceil(50000/32) cycles dominates.
+        assert stats.max_load >= 50_000 / 32
+
+    def test_lockstep_concentrates_on_one_channel(self):
+        stats = lockstep_channel_imbalance(_skewed(), 16)
+        assert stats.factor > 3.0  # the FPGA's Fig 5 sensitivity
+
+    def test_ordering_matches_design(self):
+        """Balance-aware strategies must beat naive row blocks on skew."""
+        lengths = _skewed()
+        naive = row_block_partition(lengths, 16).factor
+        for strategy in ("merge_path", "nnz_split", "element"):
+            assert (
+                imbalance_for_strategy(strategy, lengths, 16).factor < naive
+            )
+
+
+class TestSellChunks:
+    def test_sorting_scope_helps(self):
+        rng = np.random.default_rng(3)
+        lengths = rng.integers(1, 100, 2048)
+        local = sell_chunk_imbalance(lengths, 8, C=16, sigma=16)
+        scoped = sell_chunk_imbalance(lengths, 8, C=16, sigma=1024)
+        # Snake dealing keeps both well balanced; wider sorting scope must
+        # not make things worse.
+        assert local.factor <= 1.15
+        assert scoped.factor <= local.factor + 0.1
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_empty_profile(self, strategy):
+        stats = imbalance_for_strategy(
+            strategy, np.zeros(0, dtype=np.int64), 8
+        )
+        assert stats.factor == 1.0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError, match="unknown partition"):
+            imbalance_for_strategy("quantum", UNIFORM, 4)
+
+    def test_single_worker(self):
+        stats = row_block_partition(_skewed(), 1)
+        assert stats.factor == 1.0
+
+
+@given(
+    lengths=st.lists(st.integers(0, 200), min_size=1, max_size=400),
+    workers=st.integers(1, 64),
+)
+@settings(max_examples=50, deadline=None)
+def test_factor_at_least_one_everywhere(lengths, workers):
+    arr = np.array(lengths, dtype=np.int64)
+    for strategy in PARTITION_STRATEGIES:
+        stats = imbalance_for_strategy(strategy, arr, workers)
+        assert stats.factor >= 1.0
+        assert np.isfinite(stats.factor)
+
+
+@given(
+    lengths=st.lists(st.integers(0, 200), min_size=1, max_size=400),
+    workers=st.integers(1, 64),
+)
+@settings(max_examples=50, deadline=None)
+def test_contiguous_partitions_conserve_work(lengths, workers):
+    arr = np.array(lengths, dtype=np.int64)
+    for fn in (row_block_partition, nnz_balanced_rows):
+        stats = fn(arr, workers)
+        if arr.sum():
+            assert stats.mean_load * stats.n_workers == pytest.approx(
+                arr.sum(), rel=1e-9
+            )

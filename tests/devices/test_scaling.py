@@ -1,0 +1,72 @@
+"""Multi-socket device scaling (future-work extension)."""
+
+import pytest
+
+from repro.core.generator import MatrixSpec
+from repro.devices import TESTBEDS
+from repro.devices.scaling import scale_device
+from repro.perfmodel import MatrixInstance, simulate_best
+
+
+class TestScaleDevice:
+    def test_parameters_scale(self):
+        base = TESTBEDS["AMD-EPYC-24"]
+        dual = scale_device(base, 2)
+        assert dual.cores == 48
+        assert dual.llc_mb == 256.0
+        assert dual.dram_gb == 512.0
+        assert dual.dram_bw_gbs == pytest.approx(
+            base.dram_bw_gbs * 2 * 0.85
+        )
+        assert dual.name == "AMD-EPYC-24x2"
+        assert dual.max_w == base.max_w * 2
+
+    def test_single_socket_identity(self):
+        base = TESTBEDS["INTEL-XEON"]
+        assert scale_device(base, 1) is base
+
+    def test_gpu_rejected(self):
+        with pytest.raises(ValueError, match="not a CPU"):
+            scale_device(TESTBEDS["Tesla-A100"], 2)
+
+    def test_bad_args(self):
+        base = TESTBEDS["INTEL-XEON"]
+        with pytest.raises(ValueError):
+            scale_device(base, 0)
+        with pytest.raises(ValueError):
+            scale_device(base, 2, numa_efficiency=0.0)
+
+    def test_latency_grows(self):
+        base = TESTBEDS["IBM-POWER9"]
+        assert scale_device(base, 2).mem_latency_ns > base.mem_latency_ns
+
+
+class TestDualSocketBehaviour:
+    def test_large_matrices_speed_up(self):
+        """Out-of-cache matrices gain the NUMA-discounted bandwidth
+        factor from the second socket, plus whatever the doubled LLC
+        re-captures of the working set."""
+        spec = MatrixSpec.from_footprint(1024, 50, seed=4)
+        inst = MatrixInstance.from_spec(spec, max_nnz=60_000, name="dual")
+        base = TESTBEDS["AMD-EPYC-64"]
+        single = simulate_best(inst, base, noise_sigma=0.0)
+        dual = simulate_best(inst, scale_device(base, 2), noise_sigma=0.0)
+        assert 1.3 < dual.gflops / single.gflops < 3.0
+
+    def test_dual_socket_moves_cache_cutoff(self):
+        """A matrix too big for one socket's LLC fits the aggregate."""
+        spec = MatrixSpec.from_footprint(384, 50, seed=5)
+        inst = MatrixInstance.from_spec(spec, max_nnz=60_000, name="llc")
+        base = TESTBEDS["AMD-EPYC-64"]  # 256 MB LLC; 384 MB misses
+        single = simulate_best(inst, base, noise_sigma=0.0)
+        dual = simulate_best(inst, scale_device(base, 2), noise_sigma=0.0)
+        assert dual.gflops / single.gflops > 2.0  # cache-crossing jump
+
+    def test_efficiency_drops_per_watt_for_small(self):
+        """Small matrices cannot feed two sockets: GFLOPS/W regresses."""
+        spec = MatrixSpec.from_footprint(8, 50, seed=6)
+        inst = MatrixInstance.from_spec(spec, max_nnz=60_000, name="small")
+        base = TESTBEDS["AMD-EPYC-64"]
+        single = simulate_best(inst, base, noise_sigma=0.0)
+        dual = simulate_best(inst, scale_device(base, 2), noise_sigma=0.0)
+        assert dual.gflops_per_watt < single.gflops_per_watt

@@ -1,0 +1,78 @@
+"""Every format: SpMV correctness vs scipy + CSR round-trip, on every
+matrix archetype.  This is the library's central integration test."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_REGISTRY, FormatError
+from repro.kernels import make_x
+from tests.conftest import empty_matrix
+
+ALL_FORMATS = sorted(FORMAT_REGISTRY)
+ARCHETYPES = ["tiny", "regular", "skewed", "irregular", "banded"]
+
+
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+@pytest.mark.parametrize("arch", ARCHETYPES)
+def test_spmv_matches_scipy(fmt_name, arch, all_archetypes):
+    mat = all_archetypes[arch]
+    x = make_x(mat.n_cols, seed=1)
+    try:
+        fmt = FORMAT_REGISTRY[fmt_name].from_csr(mat)
+    except FormatError:
+        pytest.skip(f"{fmt_name} refuses the {arch} matrix (expected)")
+    y = fmt.spmv(x)
+    np.testing.assert_allclose(
+        y, mat.to_scipy() @ x, rtol=1e-9, atol=1e-11,
+        err_msg=f"{fmt_name} on {arch}",
+    )
+
+
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+@pytest.mark.parametrize("arch", ARCHETYPES)
+def test_csr_roundtrip(fmt_name, arch, all_archetypes):
+    mat = all_archetypes[arch]
+    try:
+        fmt = FORMAT_REGISTRY[fmt_name].from_csr(mat)
+    except FormatError:
+        pytest.skip(f"{fmt_name} refuses the {arch} matrix (expected)")
+    back = fmt.to_csr()
+    assert back.shape == mat.shape
+    np.testing.assert_allclose(
+        back.to_dense(), mat.to_dense(), rtol=1e-12, atol=1e-12,
+        err_msg=f"{fmt_name} round-trip on {arch}",
+    )
+
+
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+def test_empty_matrix_handled(fmt_name):
+    mat = empty_matrix(6, 9)
+    fmt = FORMAT_REGISTRY[fmt_name].from_csr(mat)
+    y = fmt.spmv(np.ones(9))
+    np.testing.assert_array_equal(y, np.zeros(6))
+    assert fmt.nnz == 0
+
+
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+def test_stats_invariants(fmt_name, regular_matrix):
+    try:
+        fmt = FORMAT_REGISTRY[fmt_name].from_csr(regular_matrix)
+    except FormatError:
+        pytest.skip("refused")
+    st = fmt.stats()
+    assert st.stored_elements >= fmt.nnz
+    assert st.padding_elements == st.stored_elements - fmt.nnz
+    assert st.memory_bytes > 0
+    assert 0 <= st.metadata_bytes <= st.memory_bytes
+    assert st.padding_ratio >= 0.0
+    assert fmt.memory_mb() == pytest.approx(st.memory_bytes / 2**20)
+
+
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+def test_nnz_and_shape_preserved(fmt_name, skewed_matrix):
+    try:
+        fmt = FORMAT_REGISTRY[fmt_name].from_csr(skewed_matrix)
+    except FormatError:
+        pytest.skip("refused")
+    assert fmt.shape == skewed_matrix.shape
+    assert fmt.nnz == skewed_matrix.nnz

@@ -1,0 +1,70 @@
+"""Property-based format tests: random CSR -> every format agrees with the
+reference kernel and round-trips losslessly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrix import csr_from_coo
+from repro.formats import FORMAT_REGISTRY, FormatError
+
+# ELL/DIA/BCSR may legitimately refuse pathological random matrices.
+TESTED = sorted(FORMAT_REGISTRY)
+
+
+@st.composite
+def random_csr(draw):
+    n_rows = draw(st.integers(1, 24))
+    n_cols = draw(st.integers(1, 24))
+    nnz = draw(st.integers(0, 60))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n_rows, nnz)
+    cols = rng.integers(0, n_cols, nnz)
+    vals = rng.uniform(-5, 5, nnz)
+    vals[vals == 0] = 1.0
+    return csr_from_coo(n_rows, n_cols, rows, cols, vals)
+
+
+@given(mat=random_csr(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_all_formats_agree_with_reference(mat, seed):
+    x = np.random.default_rng(seed).uniform(-1, 1, mat.n_cols)
+    reference = mat.spmv(x)
+    for name in TESTED:
+        try:
+            fmt = FORMAT_REGISTRY[name].from_csr(mat)
+        except FormatError:
+            continue
+        np.testing.assert_allclose(
+            fmt.spmv(x), reference, rtol=1e-9, atol=1e-9,
+            err_msg=name,
+        )
+
+
+@given(mat=random_csr())
+@settings(max_examples=25, deadline=None)
+def test_all_formats_roundtrip(mat):
+    dense = mat.to_dense()
+    for name in TESTED:
+        try:
+            fmt = FORMAT_REGISTRY[name].from_csr(mat)
+        except FormatError:
+            continue
+        np.testing.assert_allclose(
+            fmt.to_csr().to_dense(), dense, rtol=1e-12, atol=1e-12,
+            err_msg=name,
+        )
+
+
+@given(mat=random_csr())
+@settings(max_examples=25, deadline=None)
+def test_memory_at_least_values(mat):
+    for name in TESTED:
+        try:
+            fmt = FORMAT_REGISTRY[name].from_csr(mat)
+        except FormatError:
+            continue
+        st_ = fmt.stats()
+        assert st_.memory_bytes >= 8 * mat.nnz, name

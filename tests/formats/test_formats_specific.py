@@ -1,0 +1,260 @@
+"""Format-specific behaviours: padding, splits, refusals, partitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import csr_from_dense
+from repro.formats import (
+    BCSR,
+    COO,
+    CSR5,
+    DIA,
+    ELL,
+    HYB,
+    VSL,
+    BalancedCSR,
+    CapacityError,
+    FormatError,
+    MergeCSR,
+    NaiveCSR,
+    SELLCSigma,
+    SparseX,
+    merge_path_partition,
+)
+from repro.kernels import make_x
+
+
+def _skewed_dense():
+    dense = np.zeros((6, 12))
+    dense[0, :] = 1.0          # one full row
+    dense[1:, 0] = 2.0         # one element elsewhere
+    return csr_from_dense(dense)
+
+
+class TestELL:
+    def test_width_is_max_row(self, regular_matrix):
+        f = ELL.from_csr(regular_matrix)
+        assert f.ell_vals.shape[1] == int(regular_matrix.row_lengths.max())
+
+    def test_padding_counted(self):
+        m = _skewed_dense()
+        f = ELL.from_csr(m)
+        st = f.stats()
+        assert st.stored_elements == 6 * 12
+        assert st.padding_elements == 6 * 12 - m.nnz
+
+    def test_blowup_refused(self):
+        # 1 row of 1000 + 999 rows of 1 -> padding ~500x
+        n = 1000
+        dense = np.zeros((n, n))
+        dense[0, :] = 1.0
+        dense[1:, 0] = 1.0
+        m = csr_from_dense(dense)
+        with pytest.raises(FormatError, match="blowup"):
+            ELL.from_csr(m)
+
+    def test_blowup_limit_tunable(self):
+        m = _skewed_dense()
+        f = ELL.from_csr(m, max_blowup=1000.0)
+        assert f.nnz == m.nnz
+
+
+class TestHYB:
+    def test_default_k_is_average(self):
+        m = _skewed_dense()
+        f = HYB.from_csr(m)
+        assert f.k == max(1, round(m.nnz / m.n_rows))
+
+    def test_split_partition(self):
+        m = _skewed_dense()
+        f = HYB.from_csr(m, k=2)
+        assert f.ell_part.nnz + f.coo_part.nnz == m.nnz
+        # rows longer than k spill into COO
+        assert f.coo_part.nnz == 12 - 2
+
+    def test_ell_width_bounded_by_k(self):
+        m = _skewed_dense()
+        f = HYB.from_csr(m, k=3)
+        assert f.ell_part.ell_vals.shape[1] <= 3
+
+    def test_padding_less_than_ell(self):
+        m = _skewed_dense()
+        hyb = HYB.from_csr(m).stats()
+        ell = ELL.from_csr(m, max_blowup=1e9).stats()
+        assert hyb.padding_elements < ell.padding_elements
+
+
+class TestSELLCSigma:
+    def test_chunk_widths_cover_rows(self, skewed_matrix):
+        f = SELLCSigma.from_csr(skewed_matrix, C=8, sigma=64)
+        assert int(f.chunk_width.max()) <= int(
+            skewed_matrix.row_lengths.max()
+        )
+        assert len(f.chunk_width) == (skewed_matrix.n_rows + 7) // 8
+
+    def test_sorting_reduces_padding(self, skewed_matrix):
+        unsorted = SELLCSigma.from_csr(skewed_matrix, C=32, sigma=1)
+        scoped = SELLCSigma.from_csr(skewed_matrix, C=32, sigma=512)
+        assert (
+            scoped.stats().padding_elements
+            <= unsorted.stats().padding_elements
+        )
+
+    def test_row_permutation_is_permutation(self, regular_matrix):
+        f = SELLCSigma.from_csr(regular_matrix, C=16, sigma=128)
+        assert sorted(f.row_perm) == list(range(regular_matrix.n_rows))
+
+    def test_bad_params_rejected(self, regular_matrix):
+        with pytest.raises(ValueError):
+            SELLCSigma.from_csr(regular_matrix, C=0)
+
+
+class TestMergeCSR:
+    def test_partition_balance(self, skewed_matrix):
+        coords = merge_path_partition(skewed_matrix.indptr, 8)
+        work = np.diff(coords[:, 0]) + np.diff(coords[:, 1])
+        assert work.max() - work.min() <= 1
+
+    def test_partition_covers_everything(self, skewed_matrix):
+        coords = merge_path_partition(skewed_matrix.indptr, 5)
+        assert tuple(coords[0]) == (0, 0)
+        assert tuple(coords[-1]) == (
+            skewed_matrix.n_rows, skewed_matrix.nnz
+        )
+        assert np.all(np.diff(coords[:, 0]) >= 0)
+        assert np.all(np.diff(coords[:, 1]) >= 0)
+
+    def test_partition_method(self, regular_matrix):
+        f = MergeCSR.from_csr(regular_matrix)
+        coords = f.partition(4)
+        assert coords.shape == (5, 2)
+
+    def test_worker_count_one(self, regular_matrix):
+        coords = merge_path_partition(regular_matrix.indptr, 1)
+        assert len(coords) == 2
+
+
+class TestSparseX:
+    def test_runs_detected(self):
+        m = csr_from_dense(np.array([[1.0, 1.0, 1.0, 0.0, 1.0]]))
+        f = SparseX.from_csr(m)
+        assert sorted(f.run_len.tolist()) == [1, 3]
+
+    def test_compression_on_clustered(self, regular_matrix):
+        f = SparseX.from_csr(regular_matrix)
+        assert f.compression_ratio() < 1.0  # neighbours -> long runs
+
+    def test_no_compression_on_scattered(self, irregular_matrix):
+        f = SparseX.from_csr(irregular_matrix)
+        # Scattered matrices become singleton runs: smaller than CSR still
+        # impossible (6B header vs 4B column index) -> ratio >= 1.
+        assert f.compression_ratio() >= 1.0
+
+    def test_max_run_split(self):
+        m = csr_from_dense(np.ones((1, 600)))
+        f = SparseX.from_csr(m)
+        assert f.run_len.max() <= SparseX.MAX_RUN
+
+
+class TestVSL:
+    def test_capacity_error(self, regular_matrix):
+        with pytest.raises(CapacityError):
+            VSL.from_csr(regular_matrix, capacity_bytes=100)
+
+    def test_padding_grows_with_sparsity(self):
+        dense_rich = csr_from_dense(np.ones((64, 64)))
+        sparse = csr_from_dense(np.eye(64))
+        pad_rich = VSL.from_csr(dense_rich).stats().padding_ratio
+        pad_sparse = VSL.from_csr(sparse).stats().padding_ratio
+        assert pad_sparse > pad_rich
+
+    def test_padded_slots_multiple_of_latency(self):
+        m = csr_from_dense(np.eye(32))
+        f = VSL.from_csr(m)
+        assert f.padded_slots % VSL.ACC_LATENCY == 0
+
+
+class TestDIA:
+    def test_accepts_banded(self, banded_matrix):
+        f = DIA.from_csr(banded_matrix)
+        assert len(f.offsets) == 3
+
+    def test_refuses_scattered(self, irregular_matrix):
+        with pytest.raises(FormatError, match="diagonals"):
+            DIA.from_csr(irregular_matrix)
+
+    def test_offsets_sorted_unique(self, banded_matrix):
+        f = DIA.from_csr(banded_matrix)
+        assert list(f.offsets) == sorted(set(f.offsets))
+
+
+class TestBCSR:
+    def test_block_count(self):
+        m = csr_from_dense(np.kron(np.eye(4), np.ones((2, 2))))
+        f = BCSR.from_csr(m, b=2)
+        assert len(f.blocks) == 4
+        assert f.stats().padding_elements == 0
+
+    def test_fill_guard(self):
+        m = csr_from_dense(np.eye(64))
+        # b=16 -> 4 diagonal blocks of 256 slots for 64 nnz: fill 16x > 8x
+        with pytest.raises(FormatError, match="fill"):
+            BCSR.from_csr(m, b=16)
+
+    def test_bad_block_size(self, regular_matrix):
+        with pytest.raises(ValueError):
+            BCSR.from_csr(regular_matrix, b=0)
+
+
+class TestBalancedCSR:
+    def test_partition_nnz_balance(self, skewed_matrix):
+        f = BalancedCSR.from_csr(skewed_matrix)
+        bounds = f.row_partition(6)
+        loads = np.diff(skewed_matrix.indptr[bounds])
+        # nnz balance at row granularity: within one max row of ideal
+        ideal = skewed_matrix.nnz / 6
+        assert loads.max() <= ideal + skewed_matrix.row_lengths.max()
+
+    def test_bounds_monotone(self, regular_matrix):
+        f = BalancedCSR.from_csr(regular_matrix)
+        bounds = f.row_partition(7)
+        assert np.all(np.diff(bounds) >= 0)
+        assert bounds[0] == 0 and bounds[-1] == regular_matrix.n_rows
+
+
+class TestCOO:
+    def test_sorted_by_row(self, regular_matrix):
+        f = COO.from_csr(regular_matrix)
+        assert np.all(np.diff(f.rows) >= 0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COO(2, 2, np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+
+class TestMemoryAccounting:
+    """Exact byte counts, hand-computed for a known matrix."""
+
+    def test_csr_bytes(self, tiny_csr):
+        st = NaiveCSR.from_csr(tiny_csr).stats()
+        assert st.memory_bytes == 7 * 12 + 5 * 4
+
+    def test_coo_bytes(self, tiny_csr):
+        st = COO.from_csr(tiny_csr).stats()
+        assert st.memory_bytes == 7 * (8 + 4 + 4)
+
+    def test_ell_bytes(self, tiny_csr):
+        st = ELL.from_csr(tiny_csr).stats()
+        assert st.memory_bytes == 4 * 3 * (8 + 4)  # 4 rows x width 3
+
+    def test_csr5_bytes_exceed_csr(self, tiny_csr):
+        assert (
+            CSR5.from_csr(tiny_csr).stats().memory_bytes
+            > NaiveCSR.from_csr(tiny_csr).stats().memory_bytes
+        )
+
+    def test_sparsex_run_encoding(self):
+        m = csr_from_dense(np.array([[1.0, 1.0, 1.0, 1.0]]))
+        st = SparseX.from_csr(m).stats()
+        # 4 values + 1 run header + 2 row pointers
+        assert st.memory_bytes == 4 * 8 + 6 + 2 * 4

@@ -1,0 +1,66 @@
+"""JAD (jagged diagonal) format specifics."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import csr_from_dense
+from repro.formats import JAD
+from repro.kernels import make_x
+
+
+class TestStructure:
+    def test_diagonal_count_is_max_row(self, skewed_matrix):
+        f = JAD.from_csr(skewed_matrix)
+        assert len(f.jd_ptr) - 1 == int(skewed_matrix.row_lengths.max())
+
+    def test_diagonals_shrink_monotonically(self, skewed_matrix):
+        f = JAD.from_csr(skewed_matrix)
+        sizes = np.diff(f.jd_ptr)
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_no_padding(self, skewed_matrix):
+        st = JAD.from_csr(skewed_matrix).stats()
+        assert st.padding_elements == 0
+        assert st.stored_elements == skewed_matrix.nnz
+
+    def test_permutation_sorts_by_length(self, skewed_matrix):
+        f = JAD.from_csr(skewed_matrix)
+        lengths = skewed_matrix.row_lengths[f.row_perm]
+        assert np.all(np.diff(lengths) <= 0)
+
+
+class TestCorrectness:
+    def test_spmv(self, skewed_matrix):
+        x = make_x(skewed_matrix.n_cols)
+        np.testing.assert_allclose(
+            JAD.from_csr(skewed_matrix).spmv(x),
+            skewed_matrix.spmv(x), rtol=1e-9, atol=1e-11,
+        )
+
+    def test_roundtrip(self, regular_matrix):
+        f = JAD.from_csr(regular_matrix)
+        np.testing.assert_allclose(
+            f.to_csr().to_dense(), regular_matrix.to_dense()
+        )
+
+    def test_single_dense_row(self):
+        m = csr_from_dense(
+            np.vstack([np.ones((1, 6)), np.zeros((3, 6))])
+        )
+        f = JAD.from_csr(m)
+        assert len(f.jd_ptr) - 1 == 6
+        x = np.arange(6.0)
+        np.testing.assert_allclose(f.spmv(x), m.spmv(x))
+
+    def test_extreme_skew_cheap_structure(self):
+        """One 5000-element row among tiny rows must not blow up the
+        diagonal bookkeeping (no O(rows x diagonals) work)."""
+        from repro.core.generator import artificial_matrix_generation
+
+        m = artificial_matrix_generation(
+            20_000, 20_000, 5, skew_coeff=1000, seed=1
+        )
+        f = JAD.from_csr(m)
+        assert f.nnz == m.nnz
+        x = make_x(m.n_cols)
+        np.testing.assert_allclose(f.spmv(x), m.spmv(x), rtol=1e-9)

@@ -1,0 +1,90 @@
+"""Format registry and classification."""
+
+import pytest
+
+from repro.formats import (
+    FORMAT_REGISTRY,
+    SparseFormat,
+    available_formats,
+    get_format,
+    register_format,
+)
+
+
+def test_expected_formats_registered():
+    expected = {
+        "COO", "Naive-CSR", "Vectorized-CSR", "Balanced-CSR", "ELL", "HYB",
+        "SELL-C-s", "CSR5", "Merge-CSR", "SparseX", "VSL", "DIA", "BCSR",
+        "MKL-IE", "AOCL-Sparse", "ARMPL", "cuSPARSE-CSR", "cuSPARSE-COO",
+    }
+    assert expected <= set(FORMAT_REGISTRY)
+
+
+def test_get_format():
+    assert get_format("COO").name == "COO"
+    with pytest.raises(KeyError, match="unknown format"):
+        get_format("nope")
+
+
+def test_device_class_filter():
+    fpga = available_formats(device_class="fpga")
+    assert fpga == ["VSL"]
+    gpu = available_formats(device_class="gpu")
+    assert "cuSPARSE-CSR" in gpu and "MKL-IE" not in gpu
+
+
+def test_category_filter():
+    research = available_formats(category="research")
+    assert {"CSR5", "Merge-CSR", "SELL-C-s", "SparseX"} <= set(research)
+    assert "COO" not in research
+
+
+def test_every_format_has_partition_strategy():
+    from repro.devices.parallel import PARTITION_STRATEGIES
+
+    for name, cls in FORMAT_REGISTRY.items():
+        strategy = getattr(cls, "partition_strategy", None)
+        assert strategy in PARTITION_STRATEGIES, (
+            f"{name} has unknown partition strategy {strategy!r}"
+        )
+
+
+def test_duplicate_registration_rejected():
+    class Dup(SparseFormat):
+        name = "COO"
+
+        @classmethod
+        def from_csr(cls, mat):  # pragma: no cover
+            raise NotImplementedError
+
+        def to_csr(self):  # pragma: no cover
+            raise NotImplementedError
+
+        def spmv(self, x):  # pragma: no cover
+            raise NotImplementedError
+
+        def stats(self):  # pragma: no cover
+            raise NotImplementedError
+
+        @property
+        def shape(self):  # pragma: no cover
+            return (0, 0)
+
+        @property
+        def nnz(self):  # pragma: no cover
+            return 0
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register_format(Dup)
+
+
+def test_table_ii_formats_all_registered():
+    from repro.devices import TESTBEDS
+
+    for dev in TESTBEDS.values():
+        for fmt in dev.formats:
+            assert fmt in FORMAT_REGISTRY, f"{dev.name} lists {fmt}"
+            cls = FORMAT_REGISTRY[fmt]
+            assert dev.device_class in cls.device_classes, (
+                f"{fmt} not flagged for {dev.device_class}"
+            )

@@ -1,0 +1,109 @@
+"""MatrixMarket and CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import csr_from_dense
+from repro.io import read_mtx, read_rows, write_mtx, write_rows
+
+
+class TestMtx:
+    def test_roundtrip(self, tmp_path, regular_matrix):
+        path = tmp_path / "m.mtx"
+        write_mtx(path, regular_matrix)
+        back = read_mtx(path)
+        np.testing.assert_allclose(
+            back.to_dense(), regular_matrix.to_dense(), rtol=1e-15
+        )
+
+    def test_gzip_roundtrip(self, tmp_path, tiny_csr):
+        path = tmp_path / "m.mtx.gz"
+        write_mtx(path, tiny_csr)
+        back = read_mtx(path)
+        np.testing.assert_allclose(back.to_dense(), tiny_csr.to_dense())
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        m = read_mtx(path)
+        np.testing.assert_array_equal(m.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        )
+        m = read_mtx(path)
+        dense = m.to_dense()
+        assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+        assert dense[2, 2] == 1.0
+        assert m.nnz == 3
+
+    def test_skew_symmetric(self, tmp_path):
+        path = tmp_path / "k.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        dense = read_mtx(path).to_dense()
+        assert dense[1, 0] == 3.0 and dense[0, 1] == -3.0
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 2.5\n"
+        )
+        assert read_mtx(path).to_dense()[0, 0] == 2.5
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n1 1 0\n")
+        with pytest.raises(ValueError, match="header"):
+            read_mtx(path)
+
+    def test_dense_format_rejected(self, tmp_path):
+        path = tmp_path / "bad2.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_mtx(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "t.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="truncated"):
+            read_mtx(path)
+
+
+class TestCsv:
+    def test_roundtrip_with_types(self, tmp_path):
+        rows = [
+            {"device": "A", "gflops": 1.5, "nnz": 100},
+            {"device": "B", "gflops": 2.0, "nnz": 200},
+        ]
+        path = tmp_path / "r.csv"
+        write_rows(path, rows)
+        back = read_rows(path)
+        assert back == rows
+        assert isinstance(back[0]["nnz"], int)
+        assert isinstance(back[0]["gflops"], float)
+
+    def test_heterogeneous_keys(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = tmp_path / "h.csv"
+        write_rows(path, rows)
+        back = read_rows(path)
+        assert back[0]["a"] == 1
+        assert back[1]["b"] == 2
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "e.csv"
+        write_rows(path, [])
+        assert read_rows(path) == []

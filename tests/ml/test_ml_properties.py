@@ -1,0 +1,47 @@
+"""Property tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeRegressor, KNeighborsRegressor
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(5, 80),
+    d=st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_tree_predictions_within_target_range(seed, n, d):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, d))
+    y = rng.uniform(-100, 100, n)
+    model = DecisionTreeRegressor(max_depth=6).fit(X, y)
+    pred = model.predict(X)
+    # Leaves are means of subsets: predictions can never leave [min, max].
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(3, 50))
+@settings(max_examples=25, deadline=None)
+def test_knn_predictions_within_target_range(seed, n):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 2))
+    y = rng.uniform(-10, 10, n)
+    model = KNeighborsRegressor(n_neighbors=3).fit(X, y)
+    pred = model.predict(rng.uniform(-1, 1, (10, 2)))
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_tree_is_deterministic(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (60, 3))
+    y = rng.uniform(0, 1, 60)
+    a = DecisionTreeRegressor(random_state=0).fit(X, y).predict(X)
+    b = DecisionTreeRegressor(random_state=0).fit(X, y).predict(X)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,203 @@
+"""ML substrate: each model recovers known structure; metrics behave."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    KNeighborsRegressor,
+    LinearRegression,
+    RandomForestRegressor,
+    RidgeRegression,
+    kfold,
+    mape_score,
+    r2_score,
+    rmse,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, (300, 4))
+    y = 3.0 * X[:, 0] - 1.5 * X[:, 2] + 0.5
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def step_data():
+    """Piecewise-constant target: trees should nail it, linear cannot."""
+    rng = np.random.default_rng(2)
+    X = rng.uniform(0, 1, (400, 2))
+    y = np.where(X[:, 0] > 0.5, 10.0, 1.0) + np.where(X[:, 1] > 0.3, 5, 0)
+    return X, y
+
+
+class TestLinear:
+    def test_recovers_coefficients(self, linear_data):
+        X, y = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(
+            model.coef_, [3.0, 0.0, -1.5, 0.0], atol=1e-8
+        )
+        assert model.intercept_ == pytest.approx(0.5, abs=1e-8)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.ones(5), np.ones(5))
+
+    def test_ridge_shrinks(self, linear_data):
+        X, y = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=1000.0).fit(X, y)
+        assert np.abs(ridge.coef_).sum() < np.abs(ols.coef_).sum()
+
+    def test_ridge_alpha_zero_matches_ols(self, linear_data):
+        X, y = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestTree:
+    def test_fits_step_function(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_depth_limit_respected(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert model.depth() <= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).uniform(0, 1, (50, 3))
+        model = DecisionTreeRegressor().fit(X, np.full(50, 7.0))
+        assert model.depth() == 0
+        np.testing.assert_allclose(model.predict(X), 7.0)
+
+    def test_min_samples_leaf(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor(min_samples_leaf=100).fit(X, y)
+        # With 400 points and >=100 per leaf, at most 4 leaves (depth <= 2)
+        assert model.depth() <= 2
+
+    def test_predict_shape_validation(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((3, 9)))
+
+    def test_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_beats_linear_on_step(self, step_data):
+        X, y = step_data
+        lin = LinearRegression().fit(X, y)
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert rmse(y, tree.predict(X)) < rmse(y, lin.predict(X)) / 2
+
+
+class TestForest:
+    def test_generalises(self, step_data):
+        X, y = step_data
+        Xtr, Xte, ytr, yte = train_test_split(X, y, seed=3)
+        model = RandomForestRegressor(n_estimators=15, random_state=1)
+        model.fit(Xtr, ytr)
+        assert r2_score(yte, model.predict(Xte)) > 0.9
+
+    def test_deterministic_given_state(self, step_data):
+        X, y = step_data
+        a = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_estimator_count(self, step_data):
+        X, y = step_data
+        model = RandomForestRegressor(n_estimators=9).fit(X, y)
+        assert len(model.trees_) == 9
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+
+class TestKNN:
+    def test_exact_on_training_points(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_uniform_averages(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(5.0)
+
+    def test_distance_weighting_pulls_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=2, weights="distance")
+        model.fit(X, y)
+        assert model.predict(np.array([[0.1]]))[0] < 5.0
+
+    def test_k_capped_at_train_size(self):
+        model = KNeighborsRegressor(n_neighbors=50).fit(
+            np.ones((3, 1)), np.array([1.0, 2.0, 3.0])
+        )
+        assert model.predict(np.ones((1, 1)))[0] == pytest.approx(2.0)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="cosine")
+
+
+class TestMetricsAndSplits:
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_constant_target(self):
+        assert r2_score([2, 2], [1, 3]) == 0.0
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mape(self):
+        assert mape_score([10.0, 20.0], [11.0, 18.0]) == pytest.approx(10.0)
+
+    def test_split_disjoint_and_complete(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25)
+        assert len(yte) == 5 and len(ytr) == 15
+        assert set(ytr) | set(yte) == set(range(20))
+        assert not set(ytr) & set(yte)
+
+    def test_split_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_fraction=1.5)
+
+    def test_kfold_covers_everything(self):
+        folds = list(kfold(20, n_splits=4, seed=1))
+        assert len(folds) == 4
+        all_test = np.concatenate([te for _, te in folds])
+        assert sorted(all_test) == list(range(20))
+        for train, test in folds:
+            assert not set(train) & set(test)
+
+    def test_kfold_bad_splits(self):
+        with pytest.raises(ValueError):
+            list(kfold(3, n_splits=10))

@@ -1,0 +1,113 @@
+"""Feature-based format selector."""
+
+import numpy as np
+import pytest
+
+from repro.ml import FormatSelector
+
+
+def _synthetic_rows(n=80, seed=0):
+    """Two formats with a crisp decision boundary on the skew feature:
+    'Bal' wins on skewed matrices, 'Fast' on balanced ones."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        skew = float(rng.choice([1.0, 5000.0]))
+        feats = {
+            "matrix": f"m{i}",
+            "mem_footprint_mb": float(rng.uniform(4, 512)),
+            "avg_nnz_per_row": float(rng.uniform(5, 100)),
+            "skew_coeff": skew,
+            "cross_row_similarity": float(rng.uniform(0, 1)),
+            "avg_num_neighbours": float(rng.uniform(0, 2)),
+        }
+        fast = 100.0 if skew < 100 else 20.0
+        bal = 60.0
+        rows.append({**feats, "format": "Fast", "gflops": fast})
+        rows.append({**feats, "format": "Bal", "gflops": bal})
+    return rows
+
+
+class TestSelector:
+    def test_learns_decision_boundary(self):
+        rows = _synthetic_rows()
+        sel = FormatSelector(["Fast", "Bal"]).fit(rows)
+        balanced = {
+            "mem_footprint_mb": 64, "avg_nnz_per_row": 50,
+            "skew_coeff": 1.0, "cross_row_similarity": 0.5,
+            "avg_num_neighbours": 1.0,
+        }
+        skewed = dict(balanced, skew_coeff=5000.0)
+        assert sel.select(balanced) == "Fast"
+        assert sel.select(skewed) == "Bal"
+
+    def test_predict_scores_all_formats(self):
+        sel = FormatSelector(["Fast", "Bal"]).fit(_synthetic_rows())
+        scores = sel.predict_gflops({
+            "mem_footprint_mb": 64, "avg_nnz_per_row": 50,
+            "skew_coeff": 1.0, "cross_row_similarity": 0.5,
+            "avg_num_neighbours": 1.0,
+        })
+        assert set(scores) == {"Fast", "Bal"}
+
+    def test_evaluate_report(self):
+        rows = _synthetic_rows(seed=1)
+        sel = FormatSelector(["Fast", "Bal"]).fit(rows)
+        report = sel.evaluate(_synthetic_rows(n=30, seed=2))
+        assert report.accuracy > 0.9
+        assert report.retained > 0.9
+        assert report["n_matrices"] == 30
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FormatSelector(["A"]).select({})
+
+    def test_empty_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FormatSelector([])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            FormatSelector(["A"]).fit([])
+
+    def test_missing_format_rows_treated_as_zero(self):
+        # Format 'Rare' only appears for one matrix; the selector must
+        # still fit and never crash at selection time.
+        rows = _synthetic_rows(n=20)
+        rows.append({
+            "matrix": "m0", "mem_footprint_mb": 4, "avg_nnz_per_row": 5,
+            "skew_coeff": 1.0, "cross_row_similarity": 0.5,
+            "avg_num_neighbours": 1.0, "format": "Rare", "gflops": 1.0,
+        })
+        sel = FormatSelector(["Fast", "Bal", "Rare"]).fit(rows)
+        choice = sel.select({
+            "mem_footprint_mb": 64, "avg_nnz_per_row": 50,
+            "skew_coeff": 1.0, "cross_row_similarity": 0.5,
+            "avg_num_neighbours": 1.0,
+        })
+        assert choice in ("Fast", "Bal", "Rare")
+
+
+class TestSelectorOnSimulator:
+    """Integration: train on simulated sweeps, beat the single-format
+    baseline (the use-case the paper's related work motivates)."""
+
+    def test_beats_fixed_format(self):
+        from repro.core.dataset import Dataset, sweep
+        from repro.core.feature_space import build_dataset_specs
+        from repro.devices import TESTBEDS
+
+        dev = TESTBEDS["INTEL-XEON"]
+        specs = build_dataset_specs("tiny")[:40]
+        ds = Dataset(specs, max_nnz=30_000, name="sel")
+        table = sweep(ds, [dev], best_only=False)
+        rows = table.rows
+        split = len({r["matrix"] for r in rows}) // 2
+        names = sorted({r["matrix"] for r in rows})
+        train = [r for r in rows if r["matrix"] in names[:split]]
+        test = [r for r in rows if r["matrix"] in names[split:]]
+
+        sel = FormatSelector(list(dev.formats)).fit(train)
+        report = sel.evaluate(test)
+        # Selector retains most of the oracle's performance.
+        assert report.retained > 0.7

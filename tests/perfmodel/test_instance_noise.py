@@ -1,0 +1,86 @@
+"""MatrixInstance caching/scaling and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import MatrixSpec
+from repro.core.matrix import csr_from_dense
+from repro.formats import FormatError
+from repro.perfmodel import MatrixInstance
+from repro.perfmodel.noise import measurement_noise
+
+
+class TestInstance:
+    def test_unscaled_passthrough(self, regular_matrix):
+        inst = MatrixInstance.from_matrix(regular_matrix, name="m")
+        assert inst.scale == 1.0
+        assert inst.nnz == regular_matrix.nnz
+        assert inst.n_rows == regular_matrix.n_rows
+        np.testing.assert_array_equal(
+            inst.row_profile(), regular_matrix.row_lengths
+        )
+
+    def test_scaled_instance(self):
+        spec = MatrixSpec.from_footprint(256.0, 20, seed=1)
+        inst = MatrixInstance.from_spec(spec, max_nnz=50_000)
+        assert inst.scale > 1.0
+        assert inst.n_rows == spec.n_rows
+        assert inst.nnz == pytest.approx(spec.nnz_estimate, rel=0.15)
+
+    def test_scaled_row_profile_has_declared_rows(self):
+        spec = MatrixSpec.from_footprint(64.0, 10, skew_coeff=100, seed=2)
+        inst = MatrixInstance.from_spec(spec, max_nnz=30_000)
+        profile = inst.row_profile()
+        assert len(profile) == min(spec.n_rows, 2_000_000)
+        # Heavy row fraction preserved at declared scale.
+        assert profile.max() == pytest.approx(10 * 101, rel=0.1)
+
+    def test_features_carry_declared_footprint(self):
+        spec = MatrixSpec.from_footprint(128.0, 20, seed=3)
+        inst = MatrixInstance.from_spec(spec, max_nnz=40_000)
+        assert inst.features.mem_footprint_mb == pytest.approx(128.0,
+                                                               rel=0.1)
+
+    def test_format_stats_cached(self, regular_matrix):
+        inst = MatrixInstance.from_matrix(regular_matrix)
+        a = inst.format_stats("Naive-CSR")
+        b = inst.format_stats("Naive-CSR")
+        assert a is b
+
+    def test_format_failure_cached_and_replayed(self):
+        # Scattered matrix: DIA refuses; second call replays from cache.
+        rng = np.random.default_rng(4)
+        dense = (rng.random((60, 60)) < 0.05).astype(float)
+        inst = MatrixInstance.from_matrix(csr_from_dense(dense))
+        with pytest.raises(FormatError):
+            inst.format_stats("DIA")
+        with pytest.raises(FormatError):
+            inst.format_stats("DIA")
+
+
+class TestNoise:
+    def test_median_one(self):
+        samples = [
+            measurement_noise("d", "f", i, seed=0) for i in range(500)
+        ]
+        assert np.median(samples) == pytest.approx(1.0, abs=0.02)
+
+    def test_deterministic(self):
+        assert measurement_noise("d", "f", "m", 1) == measurement_noise(
+            "d", "f", "m", 1
+        )
+
+    def test_coordinates_decorrelate(self):
+        a = measurement_noise("d1", "f", "m", 0)
+        b = measurement_noise("d2", "f", "m", 0)
+        assert a != b
+
+    def test_sigma_zero_disables(self):
+        assert measurement_noise("d", "f", "m", 0, sigma=0.0) == 1.0
+
+    def test_spread_matches_sigma(self):
+        samples = np.array(
+            [measurement_noise("d", "f", i, 0, sigma=0.1)
+             for i in range(2000)]
+        )
+        assert np.log(samples).std() == pytest.approx(0.1, rel=0.1)

@@ -1,0 +1,109 @@
+"""CLI: every subcommand end-to-end on small inputs."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import read_mtx
+
+
+@pytest.fixture()
+def small_mtx(tmp_path):
+    path = tmp_path / "m.mtx"
+    rc = main([
+        "generate", "--rows", "2000", "--avg", "8", "--skew", "10",
+        "--seed", "3", "--out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_valid_mtx(self, small_mtx):
+        mat = read_mtx(small_mtx)
+        assert mat.shape == (2000, 2000)
+        assert mat.nnz > 10_000
+
+    def test_rectangular(self, tmp_path):
+        path = tmp_path / "r.mtx"
+        main(["generate", "--rows", "100", "--cols", "300", "--avg", "4",
+              "--out", str(path)])
+        assert read_mtx(path).shape == (100, 300)
+
+
+class TestFeatures:
+    def test_prints_all_features(self, small_mtx, capsys):
+        assert main(["features", str(small_mtx)]) == 0
+        out = capsys.readouterr().out
+        for key in ("mem_footprint_mb", "avg_nnz_per_row", "skew_coeff",
+                    "cross_row_similarity", "avg_num_neighbours",
+                    "regularity_class"):
+            assert key in out
+
+
+class TestSimulate:
+    def test_single_device(self, small_mtx, capsys):
+        assert main(["simulate", str(small_mtx), "--device",
+                     "Tesla-V100"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla-V100" in out
+        assert "fp64" in out
+
+    def test_all_devices(self, small_mtx, capsys):
+        assert main(["simulate", str(small_mtx)]) == 0
+        out = capsys.readouterr().out
+        assert "Alveo-U280" in out and "AMD-EPYC-24" in out
+
+    def test_explicit_format_fp32(self, small_mtx, capsys):
+        assert main(["simulate", str(small_mtx), "--device", "INTEL-XEON",
+                     "--format", "CSR5", "--fp32"]) == 0
+        out = capsys.readouterr().out
+        assert "CSR5" in out and "fp32" in out
+
+    def test_infeasible_format_reported(self, small_mtx, capsys):
+        # DIA refuses scattered matrices (too many populated diagonals).
+        assert main(["simulate", str(small_mtx), "--device",
+                     "AMD-EPYC-24", "--format", "DIA"]) == 0
+        assert "failed" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_subset_run(self, capsys):
+        assert main(["validate", "--ids", "1,3", "--device", "INTEL-XEON",
+                     "--friends", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scircuit" in out and "MAPE" in out
+
+
+class TestSweep:
+    def test_writes_csv(self, tmp_path, capsys, monkeypatch):
+        # Shrink the sweep: tiny dataset, one device, small reps.
+        out_csv = tmp_path / "rows.csv"
+        import repro.core.feature_space as fs
+
+        original = fs.build_dataset_specs
+
+        def small_specs(scale, **kw):
+            return original(scale, **kw)[:4]
+
+        monkeypatch.setattr(
+            "repro.core.feature_space.build_dataset_specs", small_specs
+        )
+        assert main([
+            "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+            "--max-nnz", "20000", "--out", str(out_csv),
+        ]) == 0
+        from repro.io import read_rows
+
+        rows = read_rows(out_csv)
+        assert len(rows) == 4
+        assert all(r["device"] == "INTEL-XEON" for r in rows)
