@@ -8,6 +8,11 @@ boxplots at proportional cost.
 
 Each bench writes its regenerated rows/series to
 ``benchmarks/results/<name>.txt`` and prints them (visible with ``-s``).
+
+The sweeps run through the pipeline engine: ``REPRO_JOBS`` fans them out
+over worker processes (0 = auto-detect cores) and ``REPRO_CACHE_DIR``
+persists materialised instances so repeat bench runs start warm.  Both
+leave the measurement rows byte-identical to a serial, uncached sweep.
 """
 
 import os
@@ -24,6 +29,8 @@ RESULTS_DIR.mkdir(exist_ok=True)
 
 SCALE = os.environ.get("REPRO_SCALE", "tiny")
 MAX_NNZ = int(os.environ.get("REPRO_MAX_NNZ", "80000"))
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def emit(name: str, text: str) -> str:
@@ -38,13 +45,21 @@ def emit(name: str, text: str) -> str:
 def paper_dataset():
     """The Table-I artificial dataset at the configured scale."""
     specs = build_dataset_specs(SCALE)
-    return Dataset(specs, max_nnz=MAX_NNZ, name=SCALE)
+    cache = None
+    if CACHE_DIR:
+        from repro.pipeline import InstanceCache
+
+        cache = InstanceCache(CACHE_DIR)
+    return Dataset(specs, max_nnz=MAX_NNZ, name=SCALE, cache=cache)
 
 
 @pytest.fixture(scope="session")
 def dataset_sweep(paper_dataset):
     """Best-format measurements on all nine devices (Fig 2-6, 9)."""
-    return sweep(paper_dataset, list(TESTBEDS.values()), best_only=True)
+    return sweep(
+        paper_dataset, list(TESTBEDS.values()), best_only=True,
+        jobs=JOBS, cache_dir=CACHE_DIR,
+    )
 
 
 @pytest.fixture(scope="session")
@@ -55,7 +70,10 @@ def formats_sweep(paper_dataset):
         TESTBEDS["Tesla-V100"],
         TESTBEDS["Alveo-U280"],
     ]
-    return sweep(paper_dataset, devices, best_only=False)
+    return sweep(
+        paper_dataset, devices, best_only=False,
+        jobs=JOBS, cache_dir=CACHE_DIR,
+    )
 
 
 N_FRIENDS = int(os.environ.get("REPRO_FRIENDS", "5"))

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--devices", default=None,
                    help="comma-separated testbed names (default: all)")
     w.add_argument("--max-nnz", type=int, default=80_000)
+    w.add_argument("--jobs", type=int, default=1,
+                   help="parallel sweep workers (0 = auto-detect cores; "
+                        "output is identical to --jobs 1)")
+    w.add_argument("--cache-dir", default=None,
+                   help="persistent instance cache directory; warm "
+                        "re-sweeps skip matrix generation")
     w.add_argument("--out", required=True, help="output CSV path")
 
     v = sub.add_parser("validate", help="mini Table-IV friends experiment")
@@ -152,12 +158,20 @@ def _cmd_sweep(args) -> int:
         build_dataset_specs(args.scale), max_nnz=args.max_nnz,
         name=args.scale,
     )
+    from .pipeline import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    engine = f"{jobs} worker{'s' if jobs != 1 else ''}"
+    if args.cache_dir:
+        engine += f", cache at {args.cache_dir}"
     print(
         f"sweeping {len(dataset)} matrices on "
-        f"{', '.join(d.name for d in devices)} ..."
+        f"{', '.join(d.name for d in devices)} ({engine}) ..."
     )
+    # Progress callbacks fire in the parent process under every engine, so
+    # one carriage-return line works for serial and parallel runs alike.
     table = sweep(
-        dataset, devices,
+        dataset, devices, jobs=args.jobs, cache_dir=args.cache_dir,
         progress=lambda i, n: print(f"\r  {i}/{n}", end="", flush=True),
     )
     print()

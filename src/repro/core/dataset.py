@@ -15,23 +15,30 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..devices.base import Device
 from .generator import MatrixSpec
 
-__all__ = ["Dataset", "sweep", "MeasurementTable"]
+__all__ = ["Dataset", "sweep", "spec_rows", "MeasurementTable"]
 
 DEFAULT_MAX_NNZ = 100_000
 
 
 class Dataset:
-    """A list of matrix specs with cached instances."""
+    """A list of matrix specs with cached instances.
+
+    ``cache`` is an optional persistent instance store (see
+    :class:`repro.pipeline.InstanceCache`): when set, :meth:`instance`
+    first consults it before materialising the matrix from its spec.
+    """
 
     def __init__(
         self,
         specs: Sequence[MatrixSpec],
         max_nnz: int = DEFAULT_MAX_NNZ,
         name: str = "dataset",
+        cache=None,
     ):
         self.specs = list(specs)
         self.max_nnz = max_nnz
         self.name = name
+        self.cache = cache
         self._instances: Dict[int, "MatrixInstance"] = {}
 
     def __len__(self) -> int:
@@ -42,11 +49,15 @@ class Dataset:
         from ..perfmodel.instance import MatrixInstance
 
         if i not in self._instances:
-            self._instances[i] = MatrixInstance.from_spec(
-                self.specs[i],
-                max_nnz=self.max_nnz,
-                name=f"{self.name}[{i}]",
-            )
+            name = f"{self.name}[{i}]"
+            inst = None
+            if self.cache is not None:
+                inst = self.cache.fetch(self.specs[i], self.max_nnz, name)
+            if inst is None:
+                inst = MatrixInstance.from_spec(
+                    self.specs[i], max_nnz=self.max_nnz, name=name
+                )
+            self._instances[i] = inst
         return self._instances[i]
 
     def instances(self) -> Iterable:
@@ -82,6 +93,71 @@ class MeasurementTable:
         return len(self.rows)
 
 
+def spec_rows(
+    dataset: Dataset,
+    i: int,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[dict]:
+    """Measurement rows for spec ``i`` across ``devices``.
+
+    This is the unit of work of a sweep: both the serial reference loop
+    below and the parallel engine in :mod:`repro.pipeline` call it, which
+    is what guarantees that sharded output merges back row-for-row
+    identical to a serial run.
+    """
+    from ..formats.base import FormatError
+    from ..perfmodel.simulator import simulate_best, simulate_spmv
+
+    inst = dataset.instance(i)
+    feats = inst.features
+    base = {
+        "matrix": inst.name,
+        "spec_index": i,
+        "mem_footprint_mb": feats.mem_footprint_mb,
+        "avg_nnz_per_row": feats.avg_nnz_per_row,
+        "skew_coeff": feats.skew_coeff,
+        "cross_row_similarity": feats.cross_row_similarity,
+        "avg_num_neighbours": feats.avg_num_neighbours,
+        "nnz": feats.nnz,
+        "n_rows": feats.n_rows,
+        # requested (grid) coordinates, for exact binning
+        "req_footprint_mb": dataset.specs[i].mem_footprint_mb,
+        "req_avg_nnz": dataset.specs[i].avg_nnz_per_row,
+        "req_skew": dataset.specs[i].skew_coeff,
+        "req_sim": dataset.specs[i].cross_row_sim,
+        "req_neigh": dataset.specs[i].avg_num_neigh,
+    }
+    rows: List[dict] = []
+    for dev in devices:
+        names = list(formats) if formats else list(dev.formats)
+        if best_only:
+            m = simulate_best(inst, dev, formats=names, seed=seed)
+            if m is None:
+                continue
+            rows.append(
+                {**base, "device": dev.name, "format": m.format,
+                 "gflops": m.gflops, "watts": m.watts,
+                 "gflops_per_watt": m.gflops_per_watt,
+                 "bottleneck": m.bottleneck}
+            )
+        else:
+            for fmt in names:
+                try:
+                    m = simulate_spmv(inst, fmt, dev, seed=seed)
+                except FormatError:
+                    continue
+                rows.append(
+                    {**base, "device": dev.name, "format": fmt,
+                     "gflops": m.gflops, "watts": m.watts,
+                     "gflops_per_watt": m.gflops_per_watt,
+                     "bottleneck": m.bottleneck}
+                )
+    return rows
+
+
 def sweep(
     dataset: Dataset,
     devices: Sequence[Device],
@@ -89,6 +165,8 @@ def sweep(
     formats: Optional[Sequence[str]] = None,
     seed: int = 0,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> MeasurementTable:
     """Simulate the dataset on every device.
 
@@ -96,56 +174,17 @@ def sweep(
     (matrix, device) carries the best format; otherwise one row per
     (matrix, device, format).  Matrices that no format can host on a device
     (FPGA capacity) are skipped, matching the paper's handling.
-    """
-    from ..formats.base import FormatError
-    from ..perfmodel.simulator import simulate_best, simulate_spmv
 
-    rows: List[dict] = []
-    n = len(dataset)
-    for i in range(n):
-        inst = dataset.instance(i)
-        feats = inst.features
-        base = {
-            "matrix": inst.name,
-            "spec_index": i,
-            "mem_footprint_mb": feats.mem_footprint_mb,
-            "avg_nnz_per_row": feats.avg_nnz_per_row,
-            "skew_coeff": feats.skew_coeff,
-            "cross_row_similarity": feats.cross_row_similarity,
-            "avg_num_neighbours": feats.avg_num_neighbours,
-            "nnz": feats.nnz,
-            "n_rows": feats.n_rows,
-            # requested (grid) coordinates, for exact binning
-            "req_footprint_mb": dataset.specs[i].mem_footprint_mb,
-            "req_avg_nnz": dataset.specs[i].avg_nnz_per_row,
-            "req_skew": dataset.specs[i].skew_coeff,
-            "req_sim": dataset.specs[i].cross_row_sim,
-            "req_neigh": dataset.specs[i].avg_num_neigh,
-        }
-        for dev in devices:
-            names = list(formats) if formats else list(dev.formats)
-            if best_only:
-                m = simulate_best(inst, dev, formats=names, seed=seed)
-                if m is None:
-                    continue
-                rows.append(
-                    {**base, "device": dev.name, "format": m.format,
-                     "gflops": m.gflops, "watts": m.watts,
-                     "gflops_per_watt": m.gflops_per_watt,
-                     "bottleneck": m.bottleneck}
-                )
-            else:
-                for fmt in names:
-                    try:
-                        m = simulate_spmv(inst, fmt, dev, seed=seed)
-                    except FormatError:
-                        continue
-                    rows.append(
-                        {**base, "device": dev.name, "format": fmt,
-                         "gflops": m.gflops, "watts": m.watts,
-                         "gflops_per_watt": m.gflops_per_watt,
-                         "bottleneck": m.bottleneck}
-                    )
-        if progress is not None:
-            progress(i + 1, n)
-    return MeasurementTable(rows)
+    ``jobs`` selects the execution engine: 1 (the default) stays serial
+    and in-process, ``jobs > 1`` shards over a process pool and 0
+    auto-detects the core count.  ``cache_dir`` enables the persistent
+    instance cache.  Output is row-for-row identical across all engines
+    and cache states; every path funnels through
+    :func:`repro.pipeline.run_sweep`.
+    """
+    from ..pipeline.engine import run_sweep
+
+    return run_sweep(
+        dataset, devices, best_only=best_only, formats=formats,
+        seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress,
+    )

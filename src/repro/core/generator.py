@@ -178,6 +178,58 @@ def _row_windows(
 # ---------------------------------------------------------------------------
 # Row-wise engine (paper Listing 1)
 # ---------------------------------------------------------------------------
+def _fresh_candidates(
+    n_rows: int,
+    n_cols: int,
+    lengths: np.ndarray,
+    start: np.ndarray,
+    width: np.ndarray,
+    p_run: float,
+    rng: np.random.Generator,
+):
+    """Pre-generate every row's fresh-placement candidates in one batch.
+
+    For each row a budget of ``length + length // 4 + 6`` candidate
+    columns (collision headroom over the quota) is materialised in
+    *placement order*: uniformly drawn seeds inside the row's bandwidth
+    window, each extended rightwards into a geometric run
+    (``P(len = k) = p^(k-1) (1-p)``, the dice-roll extension of Listing 1).
+    Returns ``(cand, offsets)`` where ``cand[offsets[i]:offsets[i+1]]`` are
+    row ``i``'s candidates; budgets are exact, so the row loop only slices.
+    """
+    caps = np.where(lengths > 0, lengths + (lengths >> 2) + 6, 0)
+    # One seed per candidate element: runs are >= 1, so each row's seeds
+    # always cover its budget and trimming stops exactly at the cap.
+    seed_off = np.concatenate(([0], np.cumsum(caps)))
+    n_seeds = int(seed_off[-1])
+    if n_seeds == 0:
+        return np.zeros(0, dtype=np.int64), seed_off
+    # One pass expands (start, width, cap) to per-seed values together.
+    per_seed = np.repeat(np.stack((start, width, caps)), caps, axis=1)
+    seeds = per_seed[0] + (rng.random(n_seeds) * per_seed[1]).astype(
+        np.int64
+    )
+    if p_run > 0:
+        runs = rng.geometric(1.0 - p_run, n_seeds).astype(np.int64)
+    else:
+        runs = np.ones(n_seeds, dtype=np.int64)
+    # Trim each row's run sequence so its element count equals the budget.
+    csum = np.concatenate(([0], np.cumsum(runs)))
+    before = csum[:-1] - np.repeat(csum[seed_off[:-1]], caps)
+    cap_of_seed = per_seed[2]
+    keep = before < cap_of_seed
+    trimmed = np.minimum(runs, cap_of_seed - before)[keep]
+    n_elems = int(trimmed.sum())
+    off_in_run = np.arange(n_elems, dtype=np.int64) - np.repeat(
+        np.cumsum(trimmed) - trimmed, trimmed
+    )
+    cand = np.repeat(seeds[keep], trimmed) + off_in_run
+    # Runs stop at the matrix edge; clamping (dedup removes repeats) keeps
+    # per-row budgets exact.
+    np.minimum(cand, n_cols - 1, out=cand)
+    return cand, seed_off
+
+
 def _generate_rowwise(
     n_rows: int,
     n_cols: int,
@@ -187,6 +239,153 @@ def _generate_rowwise(
     avg_num_neigh: float,
     rng: np.random.Generator,
 ) -> CSRMatrix:
+    """Vectorised Listing-1 engine.
+
+    Rows are still built sequentially (cross-row run duplication is a true
+    loop-carried dependency), but all per-element work is batched: fresh
+    candidates for *every* row — window placement plus geometric
+    neighbour-run extension — are materialised up-front in one vectorised
+    pass (:func:`_fresh_candidates`), and the row loop reduces to run
+    duplication from the previous row plus a dedup-and-trim.  Candidates
+    carry their placement order, and rows are truncated to their quota at
+    first occurrence, which reproduces the sequential algorithm's
+    stop-at-quota semantics.
+    """
+    p_run = min(avg_num_neigh / 2.0, _P_MAX)
+    start, width = _row_windows(n_rows, n_cols, lengths, bw_scaled, rng)
+    total = int(lengths.sum())
+    indptr = [0]
+    if total == 0:
+        return CSRMatrix(
+            n_rows,
+            n_cols,
+            np.zeros(n_rows + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+        )
+
+    cand_all, cand_off = _fresh_candidates(
+        n_rows, n_cols, lengths, start, width, p_run, rng
+    )
+    # Uniform draws for the per-run keep decisions of the duplication step,
+    # consumed through an inline cursor (refilled in bulk when exhausted).
+    keep_buf = rng.random(total // 2 + 64)
+    keep_pos = 0
+
+    lengths_l = lengths.tolist()
+    off_l = cand_off.tolist()
+    start_l = start.tolist()
+    width_l = width.tolist()
+    empty = np.zeros(0, dtype=np.int64)
+    np_sort, np_concat = np.sort, np.concatenate
+    np_cnz = np.count_nonzero
+    all_cols = []
+    nnz = 0
+    prev_cols = empty
+    # Adjacent differences of the previous row, reused between the dedup
+    # check that produced it and this row's run detection (valid whenever
+    # the previous row came out of a collision-free merge).
+    prev_diff = None
+    q_sim = cross_row_sim
+    for i in range(n_rows):
+        length = lengths_l[i]
+        if length == 0:
+            prev_cols = empty
+            prev_diff = None
+            indptr.append(nnz)
+            continue
+        # Step 1: duplicate whole runs of adjacent columns from the
+        # previous row; each run survives with probability ``cross_row_sim``
+        # so duplication preserves the parent row's neighbour clustering.
+        n_prev = len(prev_cols)
+        if n_prev and q_sim > 0:
+            gaps = (
+                prev_diff > 1
+                if prev_diff is not None
+                else prev_cols[1:] - prev_cols[:-1] > 1
+            )
+            run_ids = np.empty(n_prev, dtype=np.int64)
+            run_ids[0] = 0
+            if n_prev > 1:
+                np.cumsum(gaps, out=run_ids[1:])
+            n_runs = int(run_ids[-1]) + 1
+            if keep_pos + n_runs > len(keep_buf):
+                keep_buf = rng.random(max(2 * len(keep_buf), 2 * n_runs))
+                keep_pos = 0
+            keep = keep_buf[keep_pos:keep_pos + n_runs] < q_sim
+            keep_pos += n_runs
+            cur = prev_cols[keep[run_ids]][:length]
+        else:
+            cur = empty
+        # Step 2: top the row up to its quota from the pre-generated
+        # placement stream.  Each round consumes exactly the number of
+        # missing elements — the prefix-of-stream-until-quota semantics of
+        # the sequential algorithm — so deduplication can never overshoot
+        # and is a plain sort + adjacent-compare.
+        need = length - len(cur)
+        lo, hi = off_l[i], off_l[i + 1]
+        extra_rounds = 0
+        cur_diff = None
+        while need > 0:
+            if lo < hi:
+                # Clamp to the row's own budget: spilling into the next
+                # row's pool would consume seeds drawn for *its* window.
+                cand = cand_all[lo:min(lo + need, hi)]
+                lo += need
+            elif extra_rounds < 8:
+                # Budget exhausted (near-dense row in a tight window):
+                # draw straight from the window, like the reference guard.
+                extra_rounds += 1
+                cand = start_l[i] + (
+                    rng.random(2 * need) * width_l[i]
+                ).astype(np.int64)
+            else:
+                break
+            # ``cand`` is either a consumed-once view into the stream or a
+            # fresh draw, so sorting in place is safe and avoids a copy.
+            s = np_concat((cur, cand)) if len(cur) else cand
+            s.sort()
+            d = s[1:] - s[:-1]
+            nu = np_cnz(d) + 1
+            if nu != len(s):
+                cur = s[np_concat(([True], d != 0))]
+                cur_diff = None
+            else:
+                cur = s
+                cur_diff = d
+            need = length - nu
+        if need > 0:  # extremely dense row: fill deterministically
+            pool = np.setdiff1d(
+                np.arange(n_cols, dtype=np.int64), cur, assume_unique=True
+            )
+            cur = np_sort(np_concat((cur, pool[:need])))
+            cur_diff = None
+        all_cols.append(cur)
+        nnz += len(cur)
+        indptr.append(nnz)
+        prev_cols = cur
+        prev_diff = cur_diff
+
+    indices = (
+        np.concatenate(all_cols) if all_cols else np.zeros(0, dtype=np.int64)
+    )
+    data = rng.uniform(0.1, 1.0, len(indices))
+    return CSRMatrix(
+        n_rows, n_cols, np.asarray(indptr, dtype=np.int64), indices, data
+    )
+
+
+def _generate_rowwise_baseline(
+    n_rows: int,
+    n_cols: int,
+    lengths: np.ndarray,
+    bw_scaled: float,
+    cross_row_sim: float,
+    avg_num_neigh: float,
+    rng: np.random.Generator,
+) -> CSRMatrix:
+    """The seed's per-element sequential engine, kept as the reference
+    implementation for agreement tests and the pipeline throughput bench."""
     p_run = min(avg_num_neigh / 2.0, _P_MAX)
     start, width = _row_windows(n_rows, n_cols, lengths, bw_scaled, rng)
 
@@ -367,9 +566,11 @@ def artificial_matrix_generation(
     ``cross_row_sim`` (temporal locality, [0, 1]) and ``avg_num_neigh``
     (spatial locality, [0, 2]).
 
-    ``method`` selects the engine: ``"rowwise"`` (faithful sequential
-    Listing-1 algorithm) or ``"chain"`` (vectorised statistical equivalent,
-    the default — orders of magnitude faster for large matrices).
+    ``method`` selects the engine: ``"rowwise"`` (batched-NumPy Listing-1
+    algorithm), ``"rowwise-baseline"`` (the original per-element sequential
+    transcription, kept for agreement tests and benchmarks) or ``"chain"``
+    (vectorised statistical equivalent, the default — orders of magnitude
+    faster for large matrices).
     """
     if nr_rows < 0 or nr_cols < 0:
         raise ValueError("matrix dimensions must be non-negative")
@@ -390,6 +591,11 @@ def artificial_matrix_generation(
     )
     if method == "rowwise":
         return _generate_rowwise(
+            nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
+            avg_num_neigh, rng,
+        )
+    if method == "rowwise-baseline":
+        return _generate_rowwise_baseline(
             nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
             avg_num_neigh, rng,
         )

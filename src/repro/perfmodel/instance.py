@@ -19,9 +19,23 @@ import numpy as np
 from ..core.features import Features, extract_features
 from ..core.generator import MatrixSpec, row_length_profile
 from ..core.matrix import CSRMatrix
+from ..devices.parallel import ImbalanceStats, imbalance_for_strategy
 from ..formats.base import FormatError, FormatStats, get_format
 
-__all__ = ["MatrixInstance"]
+__all__ = ["MatrixInstance", "simd_utilisation_of_profile"]
+
+
+def simd_utilisation_of_profile(
+    row_profile: np.ndarray, simd_width: int
+) -> float:
+    """Fraction of SIMD lanes doing useful work under row-vectorisation."""
+    if simd_width <= 1:
+        return 1.0
+    lengths = row_profile[row_profile > 0]
+    if len(lengths) == 0:
+        return 1.0
+    issued = np.ceil(lengths / simd_width) * simd_width
+    return float(lengths.sum() / issued.sum())
 
 # Imbalance statistics converge long before this many rows; the cap bounds
 # profile memory for multi-GB declared matrices.
@@ -41,6 +55,8 @@ class MatrixInstance:
         self._profile: Optional[np.ndarray] = None
         self._format_stats: Dict[str, FormatStats] = {}
         self._format_fail: Dict[str, str] = {}
+        self._simd_util: Dict[int, float] = {}
+        self._imbalance: Dict[tuple, ImbalanceStats] = {}
 
     # -- declared scale -------------------------------------------------
     @property
@@ -110,6 +126,35 @@ class MatrixInstance:
                     self.spec.distribution,
                 )
         return self._profile
+
+    def simd_utilisation(self, simd_width: int) -> float:
+        """Memoised SIMD utilisation of the row profile at ``simd_width``.
+
+        The profile can span millions of rows, and the simulator asks for
+        the same handful of widths on every ``(device, format)`` call — the
+        per-width cache drops that O(n_rows) recomputation from warm runs.
+        """
+        if simd_width not in self._simd_util:
+            self._simd_util[simd_width] = simd_utilisation_of_profile(
+                self.row_profile(), simd_width
+            )
+        return self._simd_util[simd_width]
+
+    def imbalance(
+        self, strategy: str, n_workers: int, simd_width: int = 32
+    ) -> ImbalanceStats:
+        """Memoised load-imbalance statistics of the named partitioner.
+
+        Keyed on the full ``(strategy, n_workers, simd_width)`` triple; the
+        profile itself is fixed per instance, so every sweep revisit of the
+        same device/format pair becomes a dictionary hit.
+        """
+        key = (strategy, n_workers, simd_width)
+        if key not in self._imbalance:
+            self._imbalance[key] = imbalance_for_strategy(
+                strategy, self.row_profile(), n_workers, simd_width
+            )
+        return self._imbalance[key]
 
     def format_stats(self, format_name: str) -> FormatStats:
         """Convert once per format and cache the structural statistics.

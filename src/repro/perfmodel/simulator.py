@@ -28,9 +28,8 @@ import numpy as np
 from ..devices.base import Device
 from ..devices.cache import effective_bandwidth, x_access_model
 from ..devices.energy import EnergyModel
-from ..devices.parallel import imbalance_for_strategy
 from ..formats.base import CapacityError, FormatError, get_format
-from .instance import MatrixInstance
+from .instance import MatrixInstance, simd_utilisation_of_profile
 from .noise import measurement_noise
 
 __all__ = ["SpmvMeasurement", "simulate_spmv", "simulate_best",
@@ -59,15 +58,9 @@ class SpmvMeasurement:
     diagnostics: Dict[str, float] = field(default_factory=dict, hash=False)
 
 
-def _simd_utilisation(row_profile: np.ndarray, simd_width: int) -> float:
-    """Fraction of SIMD lanes doing useful work under row-vectorisation."""
-    if simd_width <= 1:
-        return 1.0
-    lengths = row_profile[row_profile > 0]
-    if len(lengths) == 0:
-        return 1.0
-    issued = np.ceil(lengths / simd_width) * simd_width
-    return float(lengths.sum() / issued.sum())
+# Back-compat alias: the implementation moved next to the per-instance
+# memoisation in :mod:`repro.perfmodel.instance`.
+_simd_utilisation = simd_utilisation_of_profile
 
 
 PRECISIONS = {
@@ -165,9 +158,10 @@ def simulate_spmv(
 
     # ---- bottleneck 2: compute / low ILP --------------------------------
     if stats.simd_friendly:
-        simd_util = max(_simd_utilisation(
-            instance.row_profile(), device.simd_width_dp
-        ), 1.0 / device.simd_width_dp)
+        simd_util = max(
+            instance.simd_utilisation(device.simd_width_dp),
+            1.0 / device.simd_width_dp,
+        )
     else:
         simd_util = 1.0 / device.simd_width_dp
     eff_gflops = max(device.peak_gflops * peak_mult * simd_util, 1e-3)
@@ -188,9 +182,8 @@ def simulate_spmv(
 
     # ---- bottleneck 4: load imbalance ------------------------------------
     strategy = getattr(fmt_cls, "partition_strategy", "row_block")
-    imb = imbalance_for_strategy(
-        strategy, instance.row_profile(), device.n_workers,
-        device.simd_width_dp,
+    imb = instance.imbalance(
+        strategy, device.n_workers, device.simd_width_dp
     )
 
     # ---- composition ------------------------------------------------------

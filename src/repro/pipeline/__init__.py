@@ -1,0 +1,21 @@
+"""Sweep execution pipeline: sharding, persistence, instance caching.
+
+The pipeline industrialises the dataset sweep that every figure/table
+bench and the CLI run: :func:`run_sweep` partitions specs into chunks,
+executes them serially or across a process pool, and merges results
+deterministically; :class:`InstanceCache` content-keys each
+:class:`~repro.core.generator.MatrixSpec` and persists materialised
+instances (CSR arrays, features, row profiles, per-format statistics) so
+warm sweeps skip generation entirely.
+"""
+
+from .cache import CACHE_VERSION, InstanceCache, spec_key
+from .engine import resolve_jobs, run_sweep
+
+__all__ = [
+    "CACHE_VERSION",
+    "InstanceCache",
+    "spec_key",
+    "resolve_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,303 @@
+"""Persistent + in-memory caching of materialised matrix instances.
+
+Dataset-scale sweeps spend nearly all of their time materialising
+:class:`~repro.perfmodel.instance.MatrixInstance` objects: generating the
+representative matrix, extracting features, regenerating the declared-scale
+row profile and converting to every storage format.  All of that is a pure
+function of the :class:`~repro.core.generator.MatrixSpec` (plus the
+``max_nnz`` representative cap), so it is content-addressed here:
+
+* :func:`spec_key` — a stable hash of the spec's fields.  Everything that
+  influences the generated structure is part of the key; dataset names and
+  spec indices are not (they only label rows).
+* :class:`InstanceCache` — a two-level store.  The first level is an
+  in-process dictionary (shared by every :class:`~repro.core.dataset.Dataset`
+  holding the cache).  The second level is a directory of
+  ``<key>.npz`` + ``<key>.json`` pairs holding the CSR arrays / row profile
+  and the derived statistics (features, per-format stats and refusals,
+  SIMD-utilisation and imbalance memos).  Files are written atomically
+  (temp file + ``os.replace``) so concurrent sweep workers can share one
+  cache directory without locking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.features import Features
+from ..core.generator import MatrixSpec
+from ..core.matrix import CSRMatrix
+from ..devices.parallel import ImbalanceStats
+from ..formats.base import FormatStats
+from ..perfmodel.instance import MatrixInstance
+
+__all__ = ["spec_key", "InstanceCache", "CACHE_VERSION"]
+
+# Bump when the generator or the cached payload layout changes behaviour:
+# the key changes, so stale entries are simply never looked up again.
+CACHE_VERSION = 1
+
+
+def spec_key(spec: MatrixSpec, max_nnz: int) -> str:
+    """Stable content key for ``(spec, max_nnz)``.
+
+    Hashes every spec field plus the representative cap and the cache
+    version; two equal specs always map to the same key across processes
+    and sessions (plain SHA-256 of the canonical JSON encoding).
+    """
+    payload = {f.name: getattr(spec, f.name)
+               for f in dataclasses.fields(spec)}
+    payload["__max_nnz__"] = int(max_nnz)
+    payload["__version__"] = CACHE_VERSION
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:32]
+
+
+def _to_py(obj):
+    """JSON fallback for NumPy scalars."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    raise TypeError(f"not JSON-serialisable: {type(obj)!r}")
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _clone_with_name(inst: MatrixInstance, name: str) -> MatrixInstance:
+    """A renamed wrapper sharing the instance's (immutable-in-practice)
+    matrix and derived-state containers.
+
+    Names label sweep rows and seed the measurement noise, so a cache hit
+    must never rename an instance another dataset still holds; the shared
+    dictionaries mean derived statistics computed through either wrapper
+    keep enriching the same cache entry.
+    """
+    clone = MatrixInstance(matrix=inst.matrix, spec=inst.spec, name=name)
+    clone._features = inst._features
+    clone._profile = inst._profile
+    clone._format_stats = inst._format_stats
+    clone._format_fail = inst._format_fail
+    clone._simd_util = inst._simd_util
+    clone._imbalance = inst._imbalance
+    return clone
+
+
+def _json_signature(inst: MatrixInstance) -> tuple:
+    """What derived state the JSON sidecar would carry (for dirtiness)."""
+    return (
+        inst._features is not None,
+        frozenset(inst._format_stats),
+        frozenset(inst._format_fail),
+        frozenset(inst._simd_util),
+        frozenset(inst._imbalance),
+    )
+
+
+class InstanceCache:
+    """Two-level (memory + directory) cache of materialised instances."""
+
+    def __init__(self, root, keep_in_memory: bool = True):
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"cache path {self.root} exists and is not a directory"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep_in_memory = keep_in_memory
+        self._mem: Dict[str, MatrixInstance] = {}
+        self._disk_json_sig: Dict[str, tuple] = {}
+        # Whether the on-disk NPZ is known to carry a row profile (the CSR
+        # arrays themselves are content-keyed, so they never change).
+        self._disk_npz_profile: Dict[str, bool] = {}
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+
+    # -- paths -----------------------------------------------------------
+    def _npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- fetch -----------------------------------------------------------
+    def fetch(
+        self, spec: MatrixSpec, max_nnz: int, name: str = ""
+    ) -> Optional[MatrixInstance]:
+        """Cached instance for ``spec``, or ``None`` on a miss.
+
+        ``name`` is applied to the returned instance (names label sweep
+        rows and seed the measurement noise, so they must match what a
+        fresh materialisation would have used).
+        """
+        key = spec_key(spec, max_nnz)
+        inst = self._mem.get(key)
+        if inst is not None:
+            self.hits_memory += 1
+            if inst.name != name:
+                inst = _clone_with_name(inst, name)
+            return inst
+        inst = self._load_disk(key, spec, name)
+        if inst is not None:
+            self.hits_disk += 1
+            if self.keep_in_memory:
+                self._mem[key] = inst
+            self._disk_json_sig[key] = _json_signature(inst)
+            self._disk_npz_profile[key] = inst._profile is not None
+            return inst
+        self.misses += 1
+        return None
+
+    def _load_disk(
+        self, key: str, spec: MatrixSpec, name: str
+    ) -> Optional[MatrixInstance]:
+        npz_path, json_path = self._npz_path(key), self._json_path(key)
+        if not (npz_path.exists() and json_path.exists()):
+            return None
+        try:
+            with np.load(npz_path) as npz:
+                matrix = CSRMatrix(
+                    int(npz["n_rows"]),
+                    int(npz["n_cols"]),
+                    npz["indptr"],
+                    npz["indices"],
+                    npz["data"],
+                )
+                profile = (
+                    npz["profile"].astype(np.int64)
+                    if "profile" in npz.files
+                    else None
+                )
+            meta = json.loads(json_path.read_text())
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # Partial/corrupt entry: treat as a miss and clear it so the
+            # next store() rewrites both halves.
+            for p in (npz_path, json_path):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+            return None
+        inst = MatrixInstance(matrix=matrix, spec=spec, name=name)
+        if meta.get("features") is not None:
+            inst._features = Features(**meta["features"])
+        if profile is not None:
+            inst._profile = profile
+        inst._format_stats = {
+            fmt: FormatStats(**d)
+            for fmt, d in meta.get("format_stats", {}).items()
+        }
+        inst._format_fail = dict(meta.get("format_fail", {}))
+        inst._simd_util = {
+            int(w): float(v)
+            for w, v in meta.get("simd_util", {}).items()
+        }
+        inst._imbalance = {}
+        for enc, d in meta.get("imbalance", {}).items():
+            strategy, workers, width = enc.rsplit("|", 2)
+            inst._imbalance[(strategy, int(workers), int(width))] = (
+                ImbalanceStats(**d)
+            )
+        return inst
+
+    # -- store -----------------------------------------------------------
+    def store(
+        self, spec: MatrixSpec, max_nnz: int, inst: MatrixInstance
+    ) -> bool:
+        """Persist ``inst`` (skipping whatever the on-disk entry already
+        carries).  Returns ``True`` when any write happened.
+
+        The NPZ (CSR arrays + profile) and the JSON sidecar (derived
+        statistics) are tracked separately: the arrays are fixed by the
+        content key, so adding e.g. one more imbalance memo only rewrites
+        the small JSON file, never the multi-MB matrix payload.
+        """
+        key = spec_key(spec, max_nnz)
+        if self.keep_in_memory:
+            self._mem[key] = inst
+
+        wrote = False
+        have_profile = inst._profile is not None
+        npz_path = self._npz_path(key)
+        need_npz = not npz_path.exists() or (
+            have_profile and self._disk_npz_profile.get(key) is not True
+        )
+        if need_npz:
+            arrays = {
+                "n_rows": np.int64(inst.matrix.n_rows),
+                "n_cols": np.int64(inst.matrix.n_cols),
+                "indptr": inst.matrix.indptr,
+                "indices": inst.matrix.indices,
+                "data": inst.matrix.data,
+            }
+            if have_profile:
+                arrays["profile"] = inst._profile
+            buf = io.BytesIO()
+            np.savez(buf, **arrays)
+            _atomic_write_bytes(npz_path, buf.getvalue())
+            self._disk_npz_profile[key] = have_profile
+            wrote = True
+
+        sig = _json_signature(inst)
+        if self._disk_json_sig.get(key) == sig:
+            return wrote
+
+        meta = {
+            "version": CACHE_VERSION,
+            "features": (
+                inst._features.to_dict()
+                if inst._features is not None
+                else None
+            ),
+            "format_stats": {
+                fmt: dataclasses.asdict(st)
+                for fmt, st in inst._format_stats.items()
+            },
+            "format_fail": inst._format_fail,
+            "simd_util": {
+                str(w): v for w, v in inst._simd_util.items()
+            },
+            "imbalance": {
+                f"{s}|{w}|{sw}": dataclasses.asdict(st)
+                for (s, w, sw), st in inst._imbalance.items()
+            },
+        }
+        _atomic_write_bytes(
+            self._json_path(key),
+            json.dumps(meta, default=_to_py).encode(),
+        )
+        self._disk_json_sig[key] = sig
+        return True
+
+    # -- maintenance -----------------------------------------------------
+    def drop_memory(self) -> None:
+        """Release the in-process layer (disk entries stay)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.npz")))

@@ -1,0 +1,170 @@
+"""Sharded sweep execution.
+
+:func:`run_sweep` is the dataset-scale execution engine behind
+:func:`repro.core.dataset.sweep`: it partitions spec indices into
+contiguous chunks, fans the chunks out over a ``multiprocessing`` pool
+(``jobs=1`` stays fully in-process) and merges the per-chunk row lists
+back in index order.  Because every path funnels through
+:func:`repro.core.dataset.spec_rows`, the merged table is row-for-row
+identical to a serial sweep regardless of ``jobs`` or cache state.
+
+Workers share one :class:`~repro.pipeline.cache.InstanceCache` directory;
+entries are content-keyed and written atomically, so the only cost of a
+cache race is a redundant materialisation, never a corrupt entry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence
+
+from ..core.dataset import Dataset, MeasurementTable, spec_rows
+from ..devices.base import Device
+from .cache import InstanceCache
+
+__all__ = ["run_sweep", "resolve_jobs"]
+
+# Chunks per worker: small enough to load-balance uneven spec costs,
+# large enough to amortise task dispatch.
+_CHUNKS_PER_JOB = 4
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request: ``0``/``None``/negative auto-detects."""
+    if jobs is None or jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def _chunk_bounds(n: int, n_chunks: int) -> List[tuple]:
+    """Contiguous ``[lo, hi)`` index ranges covering ``range(n)``."""
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = []
+    for c in range(n_chunks):
+        lo = (c * n) // n_chunks
+        hi = ((c + 1) * n) // n_chunks
+        if hi > lo:
+            bounds.append((lo, hi))
+    return bounds
+
+
+def _sweep_range(
+    dataset: Dataset,
+    lo: int,
+    hi: int,
+    devices: Sequence[Device],
+    best_only: bool,
+    formats,
+    seed: int,
+    cache: Optional[InstanceCache],
+) -> List[dict]:
+    """Rows for specs ``lo..hi`` with cache write-back after each spec."""
+    rows: List[dict] = []
+    for i in range(lo, hi):
+        rows.extend(
+            spec_rows(
+                dataset, i, devices,
+                best_only=best_only, formats=formats, seed=seed,
+            )
+        )
+        if cache is not None:
+            cache.store(dataset.specs[i], dataset.max_nnz,
+                        dataset.instance(i))
+    return rows
+
+
+# -- worker-side state (initialised once per pool process) ------------------
+_WORKER: dict = {}
+
+
+def _init_worker(specs, max_nnz, name, devices, best_only, formats, seed,
+                 cache_dir) -> None:
+    cache = InstanceCache(cache_dir) if cache_dir else None
+    _WORKER["dataset"] = Dataset(
+        specs, max_nnz=max_nnz, name=name, cache=cache
+    )
+    _WORKER["args"] = (devices, best_only, formats, seed, cache)
+
+
+def _run_chunk(task):
+    chunk_id, (lo, hi) = task
+    devices, best_only, formats, seed, cache = _WORKER["args"]
+    rows = _sweep_range(
+        _WORKER["dataset"], lo, hi, devices, best_only, formats, seed, cache
+    )
+    return chunk_id, rows, hi - lo
+
+
+def run_sweep(
+    dataset: Dataset,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats=None,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[InstanceCache] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> MeasurementTable:
+    """Sharded, cached sweep (see module docstring).
+
+    ``cache`` takes precedence over ``cache_dir``; with ``jobs != 1`` the
+    cache must be directory-backed, so pass ``cache_dir`` (each worker
+    opens its own handle onto the shared directory).
+    """
+    n = len(dataset)
+    jobs = resolve_jobs(jobs)
+    jobs = min(jobs, max(n, 1))
+    if cache is None and cache_dir is not None:
+        cache = InstanceCache(cache_dir)
+
+    if jobs == 1 or n == 0:
+        if cache is not None and dataset.cache is None:
+            # Attach the cache for reads without mutating the caller's
+            # dataset; instances shared through the cache's memory layer.
+            dataset = Dataset(
+                dataset.specs, max_nnz=dataset.max_nnz,
+                name=dataset.name, cache=cache,
+            )
+        rows: List[dict] = []
+        for i in range(n):
+            rows.extend(
+                _sweep_range(
+                    dataset, i, i + 1, devices, best_only, formats, seed,
+                    cache,
+                )
+            )
+            if progress is not None:
+                progress(i + 1, n)
+        return MeasurementTable(rows)
+
+    if cache is not None and cache_dir is None:
+        cache_dir = str(cache.root)
+
+    # ``fork`` keeps start-up cheap where available; ``spawn`` elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
+    init_args = (
+        dataset.specs, dataset.max_nnz, dataset.name, list(devices),
+        best_only, formats, seed, cache_dir,
+    )
+    results: dict = {}
+    done = 0
+    with ctx.Pool(
+        processes=jobs, initializer=_init_worker, initargs=init_args
+    ) as pool:
+        for chunk_id, rows, count in pool.imap_unordered(
+            _run_chunk, list(enumerate(bounds))
+        ):
+            results[chunk_id] = rows
+            done += count
+            if progress is not None:
+                progress(done, n)
+    merged: List[dict] = []
+    for chunk_id in sorted(results):
+        merged.extend(results[chunk_id])
+    return MeasurementTable(merged)

@@ -107,3 +107,34 @@ class TestSweep:
         rows = read_rows(out_csv)
         assert len(rows) == 4
         assert all(r["device"] == "INTEL-XEON" for r in rows)
+
+    def test_jobs_and_cache_dir_flags(self, tmp_path, capsys, monkeypatch):
+        # Parallel + cached runs must produce the same CSV as the serial,
+        # uncached reference above.
+        import repro.core.feature_space as fs
+
+        original = fs.build_dataset_specs
+
+        def small_specs(scale, **kw):
+            return original(scale, **kw)[:4]
+
+        monkeypatch.setattr(
+            "repro.core.feature_space.build_dataset_specs", small_specs
+        )
+        from repro.io import read_rows
+
+        serial_csv = tmp_path / "serial.csv"
+        assert main([
+            "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+            "--max-nnz", "20000", "--out", str(serial_csv),
+        ]) == 0
+        cache_dir = tmp_path / "cache"
+        for tag in ("cold", "warm"):
+            out_csv = tmp_path / f"{tag}.csv"
+            assert main([
+                "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+                "--max-nnz", "20000", "--jobs", "2",
+                "--cache-dir", str(cache_dir), "--out", str(out_csv),
+            ]) == 0
+            assert read_rows(out_csv) == read_rows(serial_csv)
+        assert list(cache_dir.glob("*.npz"))  # cache was populated
