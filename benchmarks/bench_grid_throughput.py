@@ -1,0 +1,124 @@
+"""Grid scoring throughput — batched simulator vs the scalar triple loop.
+
+Times :func:`repro.perfmodel.simulate_grid` against the equivalent scalar
+``simulate_spmv`` loop over the configured preset's instances x all nine
+testbeds x their Table-II format lists, cold (structural statistics and
+imbalance profiles still to be measured) and warm (instance caches hot —
+the steady state of selector training and repeated sweeps).  Results land
+in ``benchmarks/results/BENCH_grid.json`` next to the pipeline bench so
+the repo's performance trajectory stays machine-readable.
+
+The batched rows are additionally asserted identical to the scalar
+measurements (speed must not change results), and the warm speedup is
+gated at >= 10x — the PR-2 acceptance floor.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.feature_space import build_dataset_specs
+from repro.devices import TESTBEDS
+from repro.formats.base import FormatError
+from repro.perfmodel import MatrixInstance, simulate_grid, simulate_spmv
+
+from conftest import MAX_NNZ, RESULTS_DIR, SCALE, emit
+
+BENCH_PATH = RESULTS_DIR / "BENCH_grid.json"
+
+DEVICES = list(TESTBEDS.values())
+SEED = 0
+
+
+def _instances():
+    """Freshly materialised instances (cold structural caches)."""
+    specs = build_dataset_specs(SCALE)
+    return [
+        MatrixInstance.from_spec(s, max_nnz=MAX_NNZ, name=f"grid[{k}]")
+        for k, s in enumerate(specs)
+    ]
+
+
+def _scalar_loop(instances):
+    """The pre-batch scoring path: one Python call per triple."""
+    out = []
+    for inst in instances:
+        for dev in DEVICES:
+            for fmt in dev.formats:
+                try:
+                    m = simulate_spmv(inst, fmt, dev, seed=SEED)
+                except FormatError:
+                    continue
+                out.append(m)
+    return out
+
+
+def test_grid_vs_scalar_throughput():
+    n_cells = sum(len(dev.formats) for dev in DEVICES)
+
+    # Scalar engine: cold then warm on its own instance pool.
+    scalar_pool = _instances()
+    cells = n_cells * len(scalar_pool)
+    t0 = time.perf_counter()
+    scalar_cold_rows = _scalar_loop(scalar_pool)
+    t_scalar_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar_rows = _scalar_loop(scalar_pool)
+    t_scalar_warm = time.perf_counter() - t0
+
+    # Batched engine: cold then warm on a fresh pool.
+    batch_pool = _instances()
+    t0 = time.perf_counter()
+    simulate_grid(batch_pool, DEVICES, seed=SEED)
+    t_batch_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    grid = simulate_grid(batch_pool, DEVICES, seed=SEED)
+    t_batch_warm = time.perf_counter() - t0
+
+    # Speed must not change results: the scored cells equal the scalar
+    # measurements one for one (grid order == scalar loop order).
+    ok = grid.data[grid.ok_mask()]
+    assert len(ok) == len(scalar_rows)
+    for rec, m in zip(ok, scalar_rows):
+        assert grid.device_names[rec["device"]] == m.device
+        assert grid.format_names[rec["format"]] == m.format
+        assert rec["gflops"] == m.gflops
+        assert rec["watts"] == m.watts
+
+    speedup_warm = t_scalar_warm / t_batch_warm
+    speedup_cold = t_scalar_cold / t_batch_cold
+    payload = {
+        "scale": SCALE,
+        "max_nnz": MAX_NNZ,
+        "n_instances": len(scalar_pool),
+        "n_devices": len(DEVICES),
+        "cells": cells,
+        "scored_cells": len(scalar_rows),
+        "scalar_cold_s": round(t_scalar_cold, 3),
+        "scalar_warm_s": round(t_scalar_warm, 3),
+        "batch_cold_s": round(t_batch_cold, 3),
+        "batch_warm_s": round(t_batch_warm, 3),
+        "scalar_warm_triples_per_s": round(cells / t_scalar_warm, 1),
+        "batch_warm_triples_per_s": round(cells / t_batch_warm, 1),
+        "batch_cold_triples_per_s": round(cells / t_batch_cold, 1),
+        "speedup_warm": round(speedup_warm, 2),
+        "speedup_cold": round(speedup_cold, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    emit(
+        "grid_scoring_throughput",
+        f"grid of {len(scalar_pool)} instances x 9 devices "
+        f"({cells} triples, scale={SCALE})\n"
+        f"  scalar: cold {t_scalar_cold:.2f}s, warm {t_scalar_warm:.2f}s "
+        f"({cells / t_scalar_warm:,.0f} triples/s)\n"
+        f"  batch:  cold {t_batch_cold:.2f}s, warm {t_batch_warm:.2f}s "
+        f"({cells / t_batch_warm:,.0f} triples/s)\n"
+        f"  warm speedup: {speedup_warm:.1f}x, "
+        f"cold speedup: {speedup_cold:.1f}x",
+    )
+    # The acceptance floor: one vectorised pass beats the scalar loop by
+    # an order of magnitude once instances are materialised.
+    assert speedup_warm >= 10.0, (
+        f"batched grid only {speedup_warm:.1f}x over the scalar loop"
+    )

@@ -70,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--cache-dir", default=None,
                    help="persistent instance cache directory; warm "
                         "re-sweeps skip matrix generation")
+    w.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="score chunks through the vectorised grid "
+                        "simulator (default; --no-batch keeps the scalar "
+                        "reference loop — output is identical)")
     w.add_argument("--out", required=True, help="output CSV path")
 
     v = sub.add_parser("validate", help="mini Table-IV friends experiment")
@@ -111,7 +116,9 @@ def _cmd_simulate(args) -> int:
     from .devices import TESTBEDS, get_device
     from .formats import FormatError
     from .io import read_mtx
-    from .perfmodel import MatrixInstance, simulate_best, simulate_spmv
+    from .perfmodel import (
+        MatrixInstance, simulate_best_detailed, simulate_spmv,
+    )
 
     inst = MatrixInstance.from_matrix(read_mtx(args.matrix),
                                       name=args.matrix)
@@ -126,13 +133,19 @@ def _cmd_simulate(args) -> int:
                 m = simulate_spmv(inst, args.format_name, dev,
                                   precision=precision)
             else:
-                m = simulate_best(inst, dev, precision=precision)
+                outcome = simulate_best_detailed(inst, dev,
+                                                 precision=precision)
+                m = outcome.best
         except FormatError as exc:
             rows.append([dev.name, args.format_name or "-",
                          f"failed: {exc}", "-", "-"])
             continue
         if m is None:
-            rows.append([dev.name, "-", "all formats failed", "-", "-"])
+            reasons = "; ".join(
+                f"{s.format}: {s.reason}" for s in outcome.skipped
+            )
+            rows.append([dev.name, "-",
+                         f"all formats failed ({reasons})", "-", "-"])
             continue
         rows.append([dev.name, m.format, round(m.gflops, 2),
                      round(m.gflops_per_watt, 3), m.bottleneck])
@@ -172,6 +185,7 @@ def _cmd_sweep(args) -> int:
     # one carriage-return line works for serial and parallel runs alike.
     table = sweep(
         dataset, devices, jobs=args.jobs, cache_dir=args.cache_dir,
+        batch=args.batch,
         progress=lambda i, n: print(f"\r  {i}/{n}", end="", flush=True),
     )
     print()

@@ -15,7 +15,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..devices.base import Device
 from .generator import MatrixSpec
 
-__all__ = ["Dataset", "sweep", "spec_rows", "MeasurementTable"]
+__all__ = ["Dataset", "sweep", "spec_rows", "grid_spec_rows",
+           "MeasurementTable"]
 
 DEFAULT_MAX_NNZ = 100_000
 
@@ -93,27 +94,14 @@ class MeasurementTable:
         return len(self.rows)
 
 
-def spec_rows(
-    dataset: Dataset,
-    i: int,
-    devices: Sequence[Device],
-    best_only: bool = True,
-    formats: Optional[Sequence[str]] = None,
-    seed: int = 0,
-) -> List[dict]:
-    """Measurement rows for spec ``i`` across ``devices``.
-
-    This is the unit of work of a sweep: both the serial reference loop
-    below and the parallel engine in :mod:`repro.pipeline` call it, which
-    is what guarantees that sharded output merges back row-for-row
-    identical to a serial run.
-    """
-    from ..formats.base import FormatError
-    from ..perfmodel.simulator import simulate_best, simulate_spmv
-
+def _base_row(dataset: Dataset, i: int) -> dict:
+    """Per-spec columns shared by every measurement row of spec ``i``
+    (features at declared scale + requested grid coordinates).  Both the
+    scalar :func:`spec_rows` loop and the batched :func:`grid_spec_rows`
+    path build on this, which keeps their row schemas identical."""
     inst = dataset.instance(i)
     feats = inst.features
-    base = {
+    return {
         "matrix": inst.name,
         "spec_index": i,
         "mem_footprint_mb": feats.mem_footprint_mb,
@@ -130,6 +118,29 @@ def spec_rows(
         "req_sim": dataset.specs[i].cross_row_sim,
         "req_neigh": dataset.specs[i].avg_num_neigh,
     }
+
+
+def spec_rows(
+    dataset: Dataset,
+    i: int,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[dict]:
+    """Measurement rows for spec ``i`` across ``devices`` — the scalar
+    reference path.
+
+    This is the unit of work of a sweep; the batched engine
+    (:func:`grid_spec_rows`, the :mod:`repro.pipeline` default) produces
+    row-for-row identical output through the vectorised grid simulator,
+    a property the grid agreement suite locks down.
+    """
+    from ..formats.base import FormatError
+    from ..perfmodel.simulator import simulate_best, simulate_spmv
+
+    inst = dataset.instance(i)
+    base = _base_row(dataset, i)
     rows: List[dict] = []
     for dev in devices:
         names = list(formats) if formats else list(dev.formats)
@@ -158,6 +169,57 @@ def spec_rows(
     return rows
 
 
+def grid_spec_rows(
+    dataset: Dataset,
+    lo: int,
+    hi: int,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[dict]:
+    """Measurement rows for specs ``lo..hi`` via the batched grid
+    simulator — row-for-row identical to calling :func:`spec_rows` per
+    spec, but all (spec, device, format) cells are scored in one
+    vectorised pass."""
+    from ..perfmodel.batch import STATUS_OK, simulate_grid
+    from ..perfmodel.simulator import BOTTLENECKS
+
+    indices = list(range(lo, hi))
+    instances = [dataset.instance(i) for i in indices]
+    grid = simulate_grid(instances, devices, formats=formats, seed=seed)
+
+    def measurement(idx: int) -> dict:
+        rec = grid.data[idx]
+        return {
+            "device": grid.device_names[rec["device"]],
+            "format": grid.format_names[rec["format"]],
+            "gflops": float(rec["gflops"]),
+            "watts": float(rec["watts"]),
+            "gflops_per_watt": float(rec["gflops_per_watt"]),
+            "bottleneck": BOTTLENECKS[rec["bottleneck"]],
+        }
+
+    rows: List[dict] = []
+    best = grid.best_per()[0] if best_only else None
+    for ci, i in enumerate(indices):
+        base = _base_row(dataset, i)
+        for d in range(len(devices)):
+            if best_only:
+                idx = int(best[ci, d])
+                if idx < 0:
+                    continue
+                rows.append({**base, **measurement(idx)})
+            else:
+                f_lo, f_hi = grid.device_slices[d]
+                for off in range(f_lo, f_hi):
+                    idx = grid.cell_index(0, ci, off)
+                    if grid.data[idx]["status"] != STATUS_OK:
+                        continue
+                    rows.append({**base, **measurement(idx)})
+    return rows
+
+
 def sweep(
     dataset: Dataset,
     devices: Sequence[Device],
@@ -167,6 +229,7 @@ def sweep(
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    batch: bool = True,
 ) -> MeasurementTable:
     """Simulate the dataset on every device.
 
@@ -178,8 +241,10 @@ def sweep(
     ``jobs`` selects the execution engine: 1 (the default) stays serial
     and in-process, ``jobs > 1`` shards over a process pool and 0
     auto-detects the core count.  ``cache_dir`` enables the persistent
-    instance cache.  Output is row-for-row identical across all engines
-    and cache states; every path funnels through
+    instance cache.  ``batch`` (the default) scores each chunk through
+    the vectorised grid simulator; ``batch=False`` keeps the scalar
+    per-triple loop.  Output is row-for-row identical across all
+    engines, cache states and batch modes; every path funnels through
     :func:`repro.pipeline.run_sweep`.
     """
     from ..pipeline.engine import run_sweep
@@ -187,4 +252,5 @@ def sweep(
     return run_sweep(
         dataset, devices, best_only=best_only, formats=formats,
         seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress,
+        batch=batch,
     )

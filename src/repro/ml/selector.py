@@ -26,6 +26,56 @@ MINIMAL_FEATURES = [
 ]
 
 
+def _instance_key(row: dict):
+    """Explicit grouping key tying a measurement row to its matrix.
+
+    Per-format rows of one matrix must collapse to one training example,
+    so the key has to be stable across rows: the matrix name when
+    present, else the sweep's ``spec_index`` or the grid's ``instance``
+    index.  Rows with none of these are ambiguous — grouping them by
+    object identity would silently treat every row as a distinct matrix
+    (each format row becomes its own "matrix" with exactly one
+    observation), so we refuse instead.
+    """
+    name = row.get("matrix")
+    if name:
+        return ("matrix", name)
+    for alt in ("spec_index", "instance"):
+        value = row.get(alt)
+        if value is not None:
+            return (alt, value)
+    raise ValueError(
+        "measurement row carries no 'matrix' name, 'spec_index' or "
+        "'instance' key to group per-format rows by; add one of them "
+        "(anonymous rows cannot be grouped unambiguously)"
+    )
+
+
+def _as_rows(rows):
+    """Accept either dict rows or a ``GridResult`` (duck-typed), and
+    refuse row sets that mix devices or precisions.
+
+    The selector's feature vector carries no device/precision coordinate,
+    so rows from several devices (or fp64+fp32) would assign conflicting
+    targets to one feature vector — and per-format dicts would silently
+    keep whichever device's row came last.  Train one selector per
+    (device, precision) slice instead.
+    """
+    if hasattr(rows, "to_rows"):
+        rows = rows.to_rows(with_features=True)
+    else:
+        rows = list(rows)  # materialise: inspected twice below
+    for coord in ("device", "precision"):
+        seen = {r[coord] for r in rows if coord in r}
+        if len(seen) > 1:
+            raise ValueError(
+                f"measurement rows span multiple {coord}s "
+                f"({sorted(seen)}); fit one selector per {coord} "
+                "(filter the rows or simulate one grid slice at a time)"
+            )
+    return rows
+
+
 class SelectionReport(dict):
     """Evaluation summary: accuracy + performance retained vs oracle."""
 
@@ -74,17 +124,20 @@ class FormatSelector:
             [np.log1p(abs(float(features[k]))) for k in self.feature_keys]
         )
 
-    def fit(self, rows: Sequence[dict]) -> "FormatSelector":
-        """Train from sweep rows: dicts with the feature keys plus
-        ``format`` and ``gflops``.
+    def fit(self, rows) -> "FormatSelector":
+        """Train from sweep rows — dicts with the feature keys plus
+        ``format`` and ``gflops`` — or directly from a
+        :class:`~repro.perfmodel.batch.GridResult`.
 
+        Rows are grouped per matrix by an explicit instance key (name,
+        ``spec_index`` or grid ``instance`` index); anonymous rows raise.
         A format that refused a matrix simply has no row for it; the model
         treats missing observations as zero performance for that matrix.
         """
-        by_matrix: Dict[str, dict] = {}
-        perf: Dict[str, Dict[str, float]] = {}
-        for r in rows:
-            key = r.get("matrix") or id(r)
+        by_matrix: Dict[tuple, dict] = {}
+        perf: Dict[tuple, Dict[str, float]] = {}
+        for r in _as_rows(rows):
+            key = _instance_key(r)
             by_matrix[key] = r
             perf.setdefault(key, {})[r["format"]] = r["gflops"]
         if not by_matrix:
@@ -112,13 +165,13 @@ class FormatSelector:
         return max(scores, key=scores.get)
 
     # ------------------------------------------------------------------
-    def evaluate(self, rows: Sequence[dict]) -> SelectionReport:
+    def evaluate(self, rows) -> SelectionReport:
         """Top-1 accuracy and oracle-relative performance on held-out rows
-        (same schema as :meth:`fit`)."""
-        perf: Dict[str, Dict[str, float]] = {}
-        feats: Dict[str, dict] = {}
-        for r in rows:
-            key = r.get("matrix") or id(r)
+        (same schema as :meth:`fit`, or a ``GridResult``)."""
+        perf: Dict[tuple, Dict[str, float]] = {}
+        feats: Dict[tuple, dict] = {}
+        for r in _as_rows(rows):
+            key = _instance_key(r)
             perf.setdefault(key, {})[r["format"]] = r["gflops"]
             feats[key] = r
         if not perf:

@@ -1,4 +1,13 @@
 """Structure-aware SpMV performance simulator."""
 from .instance import MatrixInstance
-from .simulator import SpmvMeasurement, simulate_spmv, simulate_best, BOTTLENECKS
-from .noise import measurement_noise, NOISE_SIGMA
+from .simulator import (
+    BOTTLENECKS,
+    BestFormatOutcome,
+    FormatSkip,
+    SpmvMeasurement,
+    simulate_best,
+    simulate_best_detailed,
+    simulate_spmv,
+)
+from .batch import GridResult, GridSkip, simulate_grid
+from .noise import measurement_noise, noise_factors, NOISE_SIGMA

@@ -21,7 +21,7 @@ imbalance factor and parallel-slack utilisation, plus dispatch overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from .instance import MatrixInstance, simd_utilisation_of_profile
 from .noise import measurement_noise
 
 __all__ = ["SpmvMeasurement", "simulate_spmv", "simulate_best",
+           "simulate_best_detailed", "BestFormatOutcome", "FormatSkip",
            "BOTTLENECKS", "PRECISIONS"]
 
 BOTTLENECKS = (
@@ -244,6 +245,72 @@ def simulate_spmv(
     )
 
 
+@dataclass(frozen=True)
+class FormatSkip:
+    """One format that refused (or overflowed on) a device, and why."""
+
+    format: str
+    reason: str
+    capacity: bool  # True for CapacityError (hard storage overflow)
+
+
+@dataclass(frozen=True)
+class BestFormatOutcome:
+    """Result of a best-format search, including every skipped format.
+
+    ``best`` is ``None`` when all formats failed (e.g. HBM capacity
+    overflow on the FPGA) — ``skipped`` then explains each failure.
+    """
+
+    best: Optional[SpmvMeasurement]
+    skipped: Tuple[FormatSkip, ...]
+    attempted: Tuple[str, ...]
+
+    @property
+    def all_failed(self) -> bool:
+        return self.best is None and bool(self.attempted)
+
+    @property
+    def skip_reasons(self) -> Dict[str, str]:
+        """``{format: reason}`` for every skipped format."""
+        return {s.format: s.reason for s in self.skipped}
+
+
+def simulate_best_detailed(
+    instance: MatrixInstance,
+    device: Device,
+    formats: Optional[List[str]] = None,
+    seed: int = 0,
+    noise_sigma: Optional[float] = None,
+    precision: str = "fp64",
+) -> BestFormatOutcome:
+    """Best measurement across the device's formats, with the reason for
+    every format that was skipped (the paper reports the best-performing
+    format per matrix/device; Section V-A's VSL/HBM failures motivate the
+    skip accounting)."""
+    names = tuple(formats if formats is not None else device.formats)
+    best: Optional[SpmvMeasurement] = None
+    skipped: List[FormatSkip] = []
+    for name in names:
+        try:
+            m = simulate_spmv(
+                instance, name, device, seed=seed, noise_sigma=noise_sigma,
+                precision=precision,
+            )
+        except FormatError as exc:
+            skipped.append(FormatSkip(
+                format=name,
+                reason=str(exc),
+                capacity=isinstance(exc, CapacityError),
+            ))
+            continue
+        if best is None or m.gflops > best.gflops:
+            best = m
+    return BestFormatOutcome(
+        best=best, skipped=tuple(skipped), attempted=names
+    )
+
+
 def simulate_best(
     instance: MatrixInstance,
     device: Device,
@@ -256,18 +323,10 @@ def simulate_best(
     best-performing format per matrix/device).
 
     Formats that refuse the matrix are skipped; returns ``None`` when every
-    format fails (e.g. HBM capacity overflow on the FPGA).
+    format fails (e.g. HBM capacity overflow on the FPGA).  Use
+    :func:`simulate_best_detailed` to learn *why* formats were skipped.
     """
-    names = formats if formats is not None else list(device.formats)
-    best: Optional[SpmvMeasurement] = None
-    for name in names:
-        try:
-            m = simulate_spmv(
-                instance, name, device, seed=seed, noise_sigma=noise_sigma,
-                precision=precision,
-            )
-        except FormatError:
-            continue
-        if best is None or m.gflops > best.gflops:
-            best = m
-    return best
+    return simulate_best_detailed(
+        instance, device, formats=formats, seed=seed,
+        noise_sigma=noise_sigma, precision=precision,
+    ).best

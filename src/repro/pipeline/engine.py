@@ -19,7 +19,7 @@ import multiprocessing
 import os
 from typing import Callable, List, Optional, Sequence
 
-from ..core.dataset import Dataset, MeasurementTable, spec_rows
+from ..core.dataset import Dataset, MeasurementTable, grid_spec_rows, spec_rows
 from ..devices.base import Device
 from .cache import InstanceCache
 
@@ -28,6 +28,11 @@ __all__ = ["run_sweep", "resolve_jobs"]
 # Chunks per worker: small enough to load-balance uneven spec costs,
 # large enough to amortise task dispatch.
 _CHUNKS_PER_JOB = 4
+
+# Serial chunk size: specs scored per vectorised grid evaluation when
+# ``jobs == 1`` — large enough to amortise the batch setup, small enough
+# for responsive progress reporting.
+_SERIAL_CHUNK = 16
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -58,8 +63,28 @@ def _sweep_range(
     formats,
     seed: int,
     cache: Optional[InstanceCache],
+    batch: bool = True,
 ) -> List[dict]:
-    """Rows for specs ``lo..hi`` with cache write-back after each spec."""
+    """Rows for specs ``lo..hi`` with cache write-back per spec.
+
+    With ``batch`` (the default) the chunk is scored in one vectorised
+    :func:`~repro.perfmodel.batch.simulate_grid` pass; the scalar loop
+    stays available as the reference engine (``batch=False``).  Both
+    produce identical rows — the grid agreement suite enforces it.
+    """
+    if batch:
+        rows = grid_spec_rows(
+            dataset, lo, hi, devices,
+            best_only=best_only, formats=formats, seed=seed,
+        )
+        if cache is not None:
+            # Store after scoring so the persisted entries carry the
+            # derived state (features, profiles, format stats) the grid
+            # evaluation just computed — warm sweeps reload it all.
+            for i in range(lo, hi):
+                cache.store(dataset.specs[i], dataset.max_nnz,
+                            dataset.instance(i))
+        return rows
     rows: List[dict] = []
     for i in range(lo, hi):
         rows.extend(
@@ -79,19 +104,20 @@ _WORKER: dict = {}
 
 
 def _init_worker(specs, max_nnz, name, devices, best_only, formats, seed,
-                 cache_dir) -> None:
+                 cache_dir, batch) -> None:
     cache = InstanceCache(cache_dir) if cache_dir else None
     _WORKER["dataset"] = Dataset(
         specs, max_nnz=max_nnz, name=name, cache=cache
     )
-    _WORKER["args"] = (devices, best_only, formats, seed, cache)
+    _WORKER["args"] = (devices, best_only, formats, seed, cache, batch)
 
 
 def _run_chunk(task):
     chunk_id, (lo, hi) = task
-    devices, best_only, formats, seed, cache = _WORKER["args"]
+    devices, best_only, formats, seed, cache, batch = _WORKER["args"]
     rows = _sweep_range(
-        _WORKER["dataset"], lo, hi, devices, best_only, formats, seed, cache
+        _WORKER["dataset"], lo, hi, devices, best_only, formats, seed,
+        cache, batch,
     )
     return chunk_id, rows, hi - lo
 
@@ -106,12 +132,15 @@ def run_sweep(
     cache_dir: Optional[str] = None,
     cache: Optional[InstanceCache] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    batch: bool = True,
 ) -> MeasurementTable:
     """Sharded, cached sweep (see module docstring).
 
     ``cache`` takes precedence over ``cache_dir``; with ``jobs != 1`` the
     cache must be directory-backed, so pass ``cache_dir`` (each worker
-    opens its own handle onto the shared directory).
+    opens its own handle onto the shared directory).  ``batch`` routes
+    chunk scoring through the vectorised grid simulator (identical rows,
+    one NumPy pass per chunk); ``batch=False`` keeps the scalar loop.
     """
     n = len(dataset)
     jobs = resolve_jobs(jobs)
@@ -128,15 +157,20 @@ def run_sweep(
                 name=dataset.name, cache=cache,
             )
         rows: List[dict] = []
-        for i in range(n):
+        step = _SERIAL_CHUNK if batch else 1
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
             rows.extend(
                 _sweep_range(
-                    dataset, i, i + 1, devices, best_only, formats, seed,
-                    cache,
+                    dataset, lo, hi, devices, best_only, formats, seed,
+                    cache, batch,
                 )
             )
             if progress is not None:
-                progress(i + 1, n)
+                # Per-spec callbacks (the documented granularity), fired
+                # once the chunk they belong to is scored.
+                for i in range(lo, hi):
+                    progress(i + 1, n)
         return MeasurementTable(rows)
 
     if cache is not None and cache_dir is None:
@@ -150,7 +184,7 @@ def run_sweep(
     bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
     init_args = (
         dataset.specs, dataset.max_nnz, dataset.name, list(devices),
-        best_only, formats, seed, cache_dir,
+        best_only, formats, seed, cache_dir, batch,
     )
     results: dict = {}
     done = 0

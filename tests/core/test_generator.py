@@ -76,9 +76,11 @@ class TestArgumentValidation:
             artificial_matrix_generation(-5, 10, 2)
 
 
-@pytest.mark.parametrize("method", ["chain", "rowwise"])
+@pytest.mark.parametrize("method", ["chain", "rowwise", "rowwise-baseline"])
 class TestFidelity:
-    """Requested features are realised within tolerance by both engines."""
+    """Requested features are realised within tolerance by every engine,
+    including the sequential Listing-1 baseline the vectorised rowwise
+    engine replaced."""
 
     def test_average_row_length(self, method):
         m = artificial_matrix_generation(
@@ -166,6 +168,35 @@ class TestEngineAgreement:
         assert fs[0].avg_num_neighbours == pytest.approx(
             fs[1].avg_num_neighbours, abs=tol
         )
+
+    @pytest.mark.parametrize("sim,neigh,skew", [
+        (0.3, 0.5, 0.0), (0.8, 1.4, 0.0), (0.5, 1.0, 100.0),
+    ])
+    def test_vectorised_rowwise_matches_baseline(self, sim, neigh, skew):
+        """The vectorised rowwise engine realises the same feature
+        statistics as the sequential Listing-1 transcription it
+        replaced (they draw randomness differently, so agreement is
+        statistical, not bitwise)."""
+        fs = []
+        for method in ("rowwise", "rowwise-baseline"):
+            m = artificial_matrix_generation(
+                2000, 2000, 12, skew_coeff=skew, cross_row_sim=sim,
+                avg_num_neigh=neigh, seed=13, method=method,
+            )
+            fs.append(extract_features(m))
+        assert fs[0].avg_nnz_per_row == pytest.approx(
+            fs[1].avg_nnz_per_row, rel=0.05
+        )
+        assert fs[0].cross_row_similarity == pytest.approx(
+            fs[1].cross_row_similarity, abs=0.12
+        )
+        assert fs[0].avg_num_neighbours == pytest.approx(
+            fs[1].avg_num_neighbours, abs=0.2
+        )
+        if skew > 0:
+            assert fs[0].skew_coeff == pytest.approx(
+                fs[1].skew_coeff, rel=0.5
+            )
 
 
 class TestMatrixSpec:

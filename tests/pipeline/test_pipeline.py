@@ -96,6 +96,24 @@ class TestCache:
         par = sweep(tiny_dataset(), DEVICES, jobs=2, cache_dir=cache_dir)
         assert par.rows == serial_table.rows
 
+    def test_batched_sweep_persists_derived_state(self, tmp_path):
+        """Regression: the batch engine must write cache entries *after*
+        grid scoring, so the persisted instances carry the features,
+        format stats and SIMD/imbalance memos the scoring computed —
+        otherwise every warm sweep re-derives all of it."""
+        dev = TESTBEDS["INTEL-XEON"]
+        sweep(tiny_dataset(specs=SPECS[:2]), [dev],
+              cache_dir=str(tmp_path))
+        for spec in SPECS[:2]:
+            restored = InstanceCache(tmp_path).fetch(spec, MAX_NNZ)
+            assert restored is not None
+            assert restored._features is not None
+            assert set(dev.formats) <= (
+                set(restored._format_stats) | set(restored._format_fail)
+            )
+            assert dev.simd_width_dp in restored._simd_util
+            assert restored._imbalance
+
     def test_instance_roundtrip_exact(self, tmp_path):
         spec = TINY[0]
         cache = InstanceCache(tmp_path)
