@@ -105,6 +105,36 @@ class SparseFormat(abc.ABC):
     def stats(self) -> FormatStats:
         """Structural statistics for the performance model."""
 
+    @classmethod
+    def stats_from_csr(cls, mat: CSRMatrix) -> FormatStats:
+        """Analytic statistics: what ``from_csr(mat).stats()`` would return,
+        without materialising the format.
+
+        The scoring path (:meth:`repro.perfmodel.MatrixInstance.format_stats`)
+        never touches a format's payload arrays, so built-in formats override
+        this with closed-form computations over the CSR structure arrays —
+        including the exact :class:`FormatError`/:class:`CapacityError`
+        rejections ``from_csr`` would raise, with identical messages.  This
+        default falls back to a full conversion so third-party subclasses
+        keep working unchanged.
+        """
+        return cls.from_csr(mat).stats()
+
+    @classmethod
+    def stats_at_density_from_csr(
+        cls, mat: CSRMatrix, cell_density: float
+    ) -> FormatStats:
+        """Analytic counterpart of the ``stats_at_density`` correction hook
+        (density-rescaled statistics for scaled rectangular representatives).
+
+        Formats exposing ``stats_at_density`` override this; the default
+        materialises and delegates, so third-party hooks keep working.
+        """
+        fmt = cls.from_csr(mat)
+        if hasattr(fmt, "stats_at_density"):
+            return fmt.stats_at_density(cell_density)
+        return fmt.stats()
+
     # Convenience -------------------------------------------------------
     @property
     @abc.abstractmethod

@@ -71,12 +71,7 @@ class BCSR(SparseFormat):
         keys_s = keys[order]
         uniq_mask = np.concatenate(([True], np.diff(keys_s) != 0))
         n_blocks = int(uniq_mask.sum())
-        fill = n_blocks * b * b / mat.nnz
-        if fill > max_fill:
-            raise FormatError(
-                f"BCSR fill-in {fill:.1f}x exceeds limit {max_fill}x "
-                f"({n_blocks} blocks of {b}x{b} for {mat.nnz} nnz)"
-            )
+        cls._check_fill(n_blocks, b, mat.nnz, max_fill)
         block_of = np.cumsum(uniq_mask) - 1
         uniq_keys = keys_s[uniq_mask]
         blocks = np.zeros((n_blocks, b, b), dtype=np.float64)
@@ -88,6 +83,55 @@ class BCSR(SparseFormat):
             (uniq_keys // n_block_cols).astype(np.int64),
             (uniq_keys % n_block_cols).astype(np.int64),
             blocks, mat.nnz,
+        )
+
+    @classmethod
+    def _check_fill(
+        cls, n_blocks: int, b: int, nnz: int, max_fill: float
+    ) -> None:
+        """The fill-in gate — single source of threshold and message for
+        both the conversion and the analytic stats.  Requires ``nnz > 0``."""
+        fill = n_blocks * b * b / nnz
+        if fill > max_fill:
+            raise FormatError(
+                f"BCSR fill-in {fill:.1f}x exceeds limit {max_fill}x "
+                f"({n_blocks} blocks of {b}x{b} for {nnz} nnz)"
+            )
+
+    @classmethod
+    def stats_from_csr(
+        cls,
+        mat: CSRMatrix,
+        b: int = DEFAULT_BLOCK,
+        max_fill: float = DEFAULT_MAX_FILL,
+    ) -> FormatStats:
+        """Closed-form stats from the occupied-tile count (no tile arrays)."""
+        if b < 1:
+            raise ValueError("block size must be >= 1")
+        n_block_rows = (mat.n_rows + b - 1) // b
+        if mat.nnz == 0:
+            meta = (n_block_rows + 1) * INDEX_BYTES
+            return FormatStats(
+                stored_elements=0, padding_elements=0,
+                memory_bytes=meta, metadata_bytes=meta,
+                balance_aware=False, simd_friendly=True,
+            )
+        rows = np.repeat(
+            np.arange(mat.n_rows, dtype=np.int64), mat.row_lengths
+        )
+        n_block_cols = (mat.n_cols + b - 1) // b
+        keys = (rows // b) * n_block_cols + mat.indices.astype(np.int64) // b
+        n_blocks = len(np.unique(keys))
+        cls._check_fill(n_blocks, b, mat.nnz, max_fill)
+        stored = n_blocks * b * b
+        meta = n_blocks * INDEX_BYTES + (n_block_rows + 1) * INDEX_BYTES
+        return FormatStats(
+            stored_elements=stored,
+            padding_elements=stored - mat.nnz,
+            memory_bytes=stored * VALUE_BYTES + meta,
+            metadata_bytes=meta,
+            balance_aware=False,
+            simd_friendly=True,
         )
 
     def to_csr(self) -> CSRMatrix:

@@ -65,7 +65,14 @@ class COO(SparseFormat):
         )
 
     def stats(self) -> FormatStats:
-        nnz = self.nnz
+        return self._coo_stats(self.nnz)
+
+    @classmethod
+    def stats_from_csr(cls, mat: CSRMatrix) -> FormatStats:
+        return cls._coo_stats(mat.nnz)
+
+    @staticmethod
+    def _coo_stats(nnz: int) -> FormatStats:
         meta = 2 * nnz * INDEX_BYTES
         return FormatStats(
             stored_elements=nnz,

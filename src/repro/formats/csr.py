@@ -28,6 +28,9 @@ class _CSRBase(SparseFormat):
     """Shared CSR storage and conversion plumbing."""
 
     partition_strategy = "row_block"  # consumed by devices.parallel
+    # Kernel-schedule flags reported by `stats`; CSR storage itself is
+    # identical across the family, so subclasses only override these.
+    STATS_FLAGS = {"balance_aware": False, "simd_friendly": False}
 
     def __init__(self, mat: CSRMatrix):
         self.mat = mat
@@ -42,16 +45,23 @@ class _CSRBase(SparseFormat):
     def spmv(self, x: np.ndarray) -> np.ndarray:
         return self.mat.spmv(x)
 
-    def _base_stats(self, **flags) -> FormatStats:
-        nnz = self.mat.nnz
-        meta = nnz * INDEX_BYTES + (self.mat.n_rows + 1) * INDEX_BYTES
+    @classmethod
+    def _csr_stats(cls, n_rows: int, nnz: int) -> FormatStats:
+        meta = nnz * INDEX_BYTES + (n_rows + 1) * INDEX_BYTES
         return FormatStats(
             stored_elements=nnz,
             padding_elements=0,
             memory_bytes=meta + nnz * VALUE_BYTES,
             metadata_bytes=meta,
-            **flags,
+            **cls.STATS_FLAGS,
         )
+
+    def stats(self) -> FormatStats:
+        return self._csr_stats(self.mat.n_rows, self.mat.nnz)
+
+    @classmethod
+    def stats_from_csr(cls, mat: CSRMatrix) -> FormatStats:
+        return cls._csr_stats(mat.n_rows, mat.nnz)
 
     @property
     def shape(self):
@@ -70,9 +80,7 @@ class NaiveCSR(_CSRBase):
     category = "state-of-practice"
     device_classes = ("cpu", "gpu")
     partition_strategy = "row_block"
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=False, simd_friendly=False)
+    STATS_FLAGS = {"balance_aware": False, "simd_friendly": False}
 
 
 @register_format
@@ -87,13 +95,11 @@ class VectorizedCSR(_CSRBase):
     category = "state-of-practice"
     device_classes = ("cpu",)
     partition_strategy = "row_block"
+    STATS_FLAGS = {"balance_aware": False, "simd_friendly": True}
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         # NumPy's segmented evaluation *is* the vectorised schedule.
         return self.mat.spmv(x)
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=False, simd_friendly=True)
 
 
 @register_format
@@ -109,6 +115,7 @@ class BalancedCSR(_CSRBase):
     category = "state-of-practice"
     device_classes = ("cpu",)
     partition_strategy = "nnz_row"
+    STATS_FLAGS = {"balance_aware": True, "simd_friendly": False}
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         return self.mat.spmv(x)
@@ -124,6 +131,3 @@ class BalancedCSR(_CSRBase):
         bounds = np.searchsorted(self.mat.indptr, targets, side="left")
         bounds[0], bounds[-1] = 0, self.mat.n_rows
         return np.maximum.accumulate(bounds).astype(np.int64)
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=True, simd_friendly=False)

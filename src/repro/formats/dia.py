@@ -40,15 +40,10 @@ class DIA(SparseFormat):
         self._nnz = int(nnz)
 
     @classmethod
-    def from_csr(
-        cls, mat: CSRMatrix, max_blowup: float = DEFAULT_MAX_BLOWUP
-    ) -> "DIA":
-        if mat.nnz == 0:
-            return cls(
-                mat.n_rows, mat.n_cols,
-                np.zeros(0, dtype=np.int64),
-                np.zeros((0, mat.n_rows)), 0,
-            )
+    def _populated_diagonals(cls, mat: CSRMatrix, max_blowup: float):
+        """(rows, offs, uniq offsets) with the blowup gate applied — the
+        single source of the rejection threshold and message for both the
+        conversion and the analytic stats.  Requires ``mat.nnz > 0``."""
         rows = np.repeat(
             np.arange(mat.n_rows, dtype=np.int64), mat.row_lengths
         )
@@ -60,10 +55,46 @@ class DIA(SparseFormat):
                 f"DIA needs {len(uniq)} diagonals "
                 f"({stored / mat.nnz:.1f}x blowup > {max_blowup}x)"
             )
+        return rows, offs, uniq
+
+    @classmethod
+    def from_csr(
+        cls, mat: CSRMatrix, max_blowup: float = DEFAULT_MAX_BLOWUP
+    ) -> "DIA":
+        if mat.nnz == 0:
+            return cls(
+                mat.n_rows, mat.n_cols,
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, mat.n_rows)), 0,
+            )
+        rows, offs, uniq = cls._populated_diagonals(mat, max_blowup)
         diag_idx = np.searchsorted(uniq, offs)
         diags = np.zeros((len(uniq), mat.n_rows), dtype=np.float64)
         diags[diag_idx, rows] = mat.data
         return cls(mat.n_rows, mat.n_cols, uniq, diags, mat.nnz)
+
+    @classmethod
+    def stats_from_csr(
+        cls, mat: CSRMatrix, max_blowup: float = DEFAULT_MAX_BLOWUP
+    ) -> FormatStats:
+        """Closed-form stats from the populated-diagonal count alone."""
+        if mat.nnz == 0:
+            return FormatStats(
+                stored_elements=0, padding_elements=0,
+                memory_bytes=0, metadata_bytes=0,
+                balance_aware=True, simd_friendly=True,
+            )
+        _, _, uniq = cls._populated_diagonals(mat, max_blowup)
+        stored = len(uniq) * mat.n_rows
+        meta = len(uniq) * INDEX_BYTES
+        return FormatStats(
+            stored_elements=stored,
+            padding_elements=stored - mat.nnz,
+            memory_bytes=stored * VALUE_BYTES + meta,
+            metadata_bytes=meta,
+            balance_aware=True,
+            simd_friendly=True,
+        )
 
     def to_csr(self) -> CSRMatrix:
         d, rows = np.nonzero(self.diags != 0.0)

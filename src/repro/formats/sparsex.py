@@ -75,6 +75,40 @@ class SparseX(SparseFormat):
         run_len = np.diff(np.concatenate((starts_idx, [mat.nnz])))
         return cls(mat, run_id, run_start, run_len)
 
+    @classmethod
+    def stats_from_csr(cls, mat: CSRMatrix) -> FormatStats:
+        """Closed-form stats from the encoded-run count.
+
+        A maximal horizontal run of length L encodes as ``ceil(L / MAX_RUN)``
+        units (the detector splits at the 1-byte length limit), so the run
+        count follows from row boundaries and column gaps alone.
+        """
+        if mat.nnz == 0:
+            n_runs = 0
+        else:
+            rows = np.repeat(
+                np.arange(mat.n_rows, dtype=np.int64), mat.row_lengths
+            )
+            col_diff = np.diff(mat.indices.astype(np.int64))
+            new_run = np.concatenate(
+                ([True], (np.diff(rows) != 0) | (col_diff != 1))
+            )
+            starts_idx = np.nonzero(new_run)[0]
+            base_len = np.diff(np.concatenate((starts_idx, [mat.nnz])))
+            n_runs = int((-(-base_len // cls.MAX_RUN)).sum())
+        meta = (
+            n_runs * UNIT_HEADER_BYTES
+            + (mat.n_rows + 1) * INDEX_BYTES
+        )
+        return FormatStats(
+            stored_elements=mat.nnz,
+            padding_elements=0,
+            memory_bytes=mat.nnz * VALUE_BYTES + meta,
+            metadata_bytes=meta,
+            balance_aware=False,
+            simd_friendly=True,
+        )
+
     def to_csr(self) -> CSRMatrix:
         return self.mat
 

@@ -10,7 +10,7 @@ reads from the ``balance_aware`` / ``simd_friendly`` flags and the
 
 from __future__ import annotations
 
-from .base import FormatStats, register_format
+from .base import register_format
 from .coo import COO
 from .csr import _CSRBase
 
@@ -30,9 +30,7 @@ class MKLInspectorExecutor(_CSRBase):
     category = "state-of-practice"
     device_classes = ("cpu",)
     partition_strategy = "nnz_row"
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=True, simd_friendly=True)
+    STATS_FLAGS = {"balance_aware": True, "simd_friendly": True}
 
 
 @register_format
@@ -43,9 +41,7 @@ class AOCLSparse(_CSRBase):
     category = "state-of-practice"
     device_classes = ("cpu",)
     partition_strategy = "nnz_row"
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=True, simd_friendly=True)
+    STATS_FLAGS = {"balance_aware": True, "simd_friendly": True}
 
 
 @register_format
@@ -56,9 +52,7 @@ class ARMPLSparse(_CSRBase):
     category = "state-of-practice"
     device_classes = ("cpu",)
     partition_strategy = "nnz_row"
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=True, simd_friendly=True)
+    STATS_FLAGS = {"balance_aware": True, "simd_friendly": True}
 
 
 @register_format
@@ -69,9 +63,7 @@ class CuSparseCSR(_CSRBase):
     category = "state-of-practice"
     device_classes = ("gpu",)
     partition_strategy = "warp_row"
-
-    def stats(self) -> FormatStats:
-        return self._base_stats(balance_aware=False, simd_friendly=True)
+    STATS_FLAGS = {"balance_aware": False, "simd_friendly": True}
 
 
 @register_format

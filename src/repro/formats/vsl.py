@@ -96,11 +96,7 @@ class VSL(SparseFormat):
             counts = np.zeros(0, dtype=np.int64)
             padded = 0
 
-        if capacity_bytes is not None and padded * cls.ENTRY_BYTES > capacity_bytes:
-            raise CapacityError(
-                f"VSL padded stream {padded * cls.ENTRY_BYTES / 2**30:.2f} GiB "
-                f"exceeds HBM capacity {capacity_bytes / 2**30:.2f} GiB"
-            )
+        cls._check_capacity(padded, capacity_bytes)
 
         rows_out = t.indices.astype(np.int32)  # original row index
         cols_out = np.repeat(
@@ -109,6 +105,63 @@ class VSL(SparseFormat):
         return cls(
             mat.n_rows, mat.n_cols, rows_out, cols_out, t.data.copy(),
             padded, partition_counts=counts,
+        )
+
+    @classmethod
+    def _check_capacity(cls, padded: int, capacity_bytes) -> None:
+        """The HBM capacity gate — single source of threshold and message
+        for both the conversion and the analytic stats."""
+        if capacity_bytes is not None and padded * cls.ENTRY_BYTES > capacity_bytes:
+            raise CapacityError(
+                f"VSL padded stream {padded * cls.ENTRY_BYTES / 2**30:.2f} GiB "
+                f"exceeds HBM capacity {capacity_bytes / 2**30:.2f} GiB"
+            )
+
+    @classmethod
+    def _padded_slots_of_csr(cls, mat: CSRMatrix) -> int:
+        """Padded slot count straight from the CSR arrays (no transpose).
+
+        Each element's partition cell is keyed on (column block, row group,
+        column) exactly as ``from_csr`` keys it; the sorted key multiset —
+        and hence the per-cell populations and latency padding — is
+        identical whether elements are visited in CSC or CSR order.
+        """
+        if mat.nnz == 0:
+            return 0
+        rows = np.repeat(
+            np.arange(mat.n_rows, dtype=np.int64), mat.row_lengths
+        )
+        cols = mat.indices.astype(np.int64)
+        key = (
+            (cols // cls.COL_BLOCK) * (cls.N_CHANNELS * (mat.n_cols + 1))
+            + (rows % cls.N_CHANNELS) * (mat.n_cols + 1)
+            + cols
+        )
+        key.sort()
+        boundaries = np.concatenate(([True], np.diff(key) != 0))
+        counts = np.diff(
+            np.concatenate((np.nonzero(boundaries)[0], [len(key)]))
+        )
+        lat = cls.ACC_LATENCY
+        return int((np.ceil(counts / lat).astype(np.int64) * lat).sum())
+
+    @classmethod
+    def stats_from_csr(
+        cls, mat: CSRMatrix, capacity_bytes: int = None
+    ) -> FormatStats:
+        """Closed-form stats (and the same :class:`CapacityError` gate) from
+        per-partition column populations."""
+        padded = cls._padded_slots_of_csr(mat)
+        cls._check_capacity(padded, capacity_bytes)
+        nnz = mat.nnz
+        stored = max(padded, nnz)
+        return FormatStats(
+            stored_elements=stored,
+            padding_elements=stored - nnz,
+            memory_bytes=stored * cls.ENTRY_BYTES,
+            metadata_bytes=stored * (cls.ENTRY_BYTES - VALUE_BYTES),
+            balance_aware=True,
+            simd_friendly=True,
         )
 
     def to_csr(self) -> CSRMatrix:
@@ -177,6 +230,26 @@ class VSL(SparseFormat):
             padding_elements=stored - nnz,
             memory_bytes=mem,
             metadata_bytes=stored * (self.ENTRY_BYTES - VALUE_BYTES),
+            balance_aware=True,
+            simd_friendly=True,
+        )
+
+    @classmethod
+    def stats_at_density_from_csr(
+        cls, mat: CSRMatrix, cell_density: float
+    ) -> FormatStats:
+        """Analytic :meth:`stats_at_density`: the rescaled estimate depends
+        only on nnz and the Poisson padding ratio, never on the arrays."""
+        nnz = mat.nnz
+        if nnz == 0:
+            return cls.stats_from_csr(mat)
+        ratio = cls.expected_padding_ratio(cell_density)
+        stored = int(round(nnz * ratio))
+        return FormatStats(
+            stored_elements=stored,
+            padding_elements=stored - nnz,
+            memory_bytes=stored * cls.ENTRY_BYTES,
+            metadata_bytes=stored * (cls.ENTRY_BYTES - VALUE_BYTES),
             balance_aware=True,
             simd_friendly=True,
         )

@@ -25,6 +25,7 @@ class RandomForestRegressor:
         min_samples_leaf: int = 3,
         max_features: Optional[int] = None,
         random_state: int = 0,
+        presort: bool = True,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -33,6 +34,7 @@ class RandomForestRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.presort = presort
         self.trees_ = []
 
     def fit(self, X, y) -> "RandomForestRegressor":
@@ -51,6 +53,7 @@ class RandomForestRegressor:
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=m,
                 random_state=int(rng.integers(0, 2**31 - 1)),
+                presort=self.presort,
             )
             tree.fit(X[idx], y[idx])
             self.trees_.append(tree)

@@ -45,7 +45,12 @@ __all__ = ["spec_key", "InstanceCache", "CACHE_VERSION"]
 
 # Bump when the generator or the cached payload layout changes behaviour:
 # the key changes, so stale entries are simply never looked up again.
-CACHE_VERSION = 1
+# v2: format stats are produced by the analytic stats-only engine
+# (`SparseFormat.stats_from_csr`).  Entries are value-identical to v1
+# (the agreement suite proves it), but the version field in the JSON
+# sidecar should record which engine filled them, so pre-existing cache
+# dirs are invalidated cleanly rather than silently mixed.
+CACHE_VERSION = 2
 
 
 def spec_key(spec: MatrixSpec, max_nnz: int) -> str:
@@ -98,6 +103,7 @@ def _clone_with_name(inst: MatrixInstance, name: str) -> MatrixInstance:
     keep enriching the same cache entry.
     """
     clone = MatrixInstance(matrix=inst.matrix, spec=inst.spec, name=name)
+    clone.stats_engine = inst.stats_engine
     clone._features = inst._features
     clone._profile = inst._profile
     clone._format_stats = inst._format_stats

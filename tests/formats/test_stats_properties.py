@@ -1,0 +1,107 @@
+"""Hypothesis property suite: analytic stats equal materialised stats
+(and raise identical errors) for every registered format over random CSR
+matrices — including empty rows, single-column, all-dense-row and
+run-length-limit edge cases the closed forms must get right.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrix import csr_from_coo
+from repro.formats import FORMAT_REGISTRY, FormatError
+from repro.formats.sparsex import SparseX
+
+TESTED = sorted(FORMAT_REGISTRY)
+
+
+@st.composite
+def csr_matrices(draw):
+    """Random CSR plus deliberately degenerate shapes.
+
+    * "random": scattered entries — empty rows arise naturally, ELL/DIA/
+      BCSR refusals exercised.
+    * "single-col": n_cols == 1 (every nonzero on one diagonal band edge).
+    * "dense-rows": every row fully populated (ELL with zero padding,
+      maximal SparseX runs, single JAD diagonal count = n_cols).
+    * "empty": nnz == 0 with nonzero dimensions.
+    """
+    mode = draw(st.sampled_from(["random", "single-col", "dense-rows",
+                                 "empty"]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if mode == "empty":
+        n_rows = draw(st.integers(1, 20))
+        n_cols = draw(st.integers(1, 20))
+        return csr_from_coo(n_rows, n_cols, [], [], [])
+    if mode == "single-col":
+        n_rows = draw(st.integers(1, 24))
+        nnz = draw(st.integers(0, n_rows))
+        rows = rng.choice(n_rows, size=nnz, replace=False)
+        return csr_from_coo(n_rows, 1, rows, np.zeros(nnz, dtype=int),
+                            rng.uniform(1, 5, nnz))
+    if mode == "dense-rows":
+        n_rows = draw(st.integers(1, 12))
+        n_cols = draw(st.integers(1, 300))  # > SparseX.MAX_RUN possible
+        rows = np.repeat(np.arange(n_rows), n_cols)
+        cols = np.tile(np.arange(n_cols), n_rows)
+        return csr_from_coo(n_rows, n_cols, rows, cols,
+                            rng.uniform(1, 5, n_rows * n_cols))
+    n_rows = draw(st.integers(1, 24))
+    n_cols = draw(st.integers(1, 24))
+    nnz = draw(st.integers(0, 60))
+    rows = rng.integers(0, n_rows, nnz)
+    cols = rng.integers(0, n_cols, nnz)
+    vals = rng.uniform(-5, 5, nnz)
+    vals[vals == 0] = 1.0
+    return csr_from_coo(n_rows, n_cols, rows, cols, vals)
+
+
+def _outcome(fn, mat):
+    try:
+        return fn(mat), None
+    except FormatError as exc:
+        return None, (type(exc), str(exc))
+
+
+@given(mat=csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_analytic_equals_materialised(mat):
+    for name in TESTED:
+        cls = FORMAT_REGISTRY[name]
+        ref, ref_err = _outcome(lambda m: cls.from_csr(m).stats(), mat)
+        got, got_err = _outcome(cls.stats_from_csr, mat)
+        assert got_err == ref_err, (name, got_err, ref_err)
+        assert got == ref, (name, got, ref)
+
+
+@given(mat=csr_matrices())
+@settings(max_examples=30, deadline=None)
+def test_analytic_memory_accounting_invariants(mat):
+    """Sanity bounds the analytic forms must keep regardless of structure:
+    padding never negative, metadata never exceeds total memory, stored
+    slots always cover the useful nonzeros."""
+    for name in TESTED:
+        cls = FORMAT_REGISTRY[name]
+        try:
+            s = cls.stats_from_csr(mat)
+        except FormatError:
+            continue
+        assert s.stored_elements >= mat.nnz - 1e-9, name
+        assert s.padding_elements >= 0, name
+        assert 0 <= s.metadata_bytes <= s.memory_bytes or (
+            s.memory_bytes == 0 and s.metadata_bytes >= 0
+        ), name
+
+
+def test_sparsex_run_length_split_agrees():
+    """A single 600-wide dense row crosses MAX_RUN twice: the analytic
+    ceil-division must match the detector's explicit splitting."""
+    n_cols = 600
+    mat = csr_from_coo(
+        1, n_cols, np.zeros(n_cols, dtype=int), np.arange(n_cols),
+        np.ones(n_cols),
+    )
+    ref = SparseX.from_csr(mat)
+    assert len(ref.run_len) == 3  # 255 + 255 + 90
+    assert SparseX.stats_from_csr(mat) == ref.stats()
