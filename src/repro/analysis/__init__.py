@@ -1,5 +1,5 @@
 """Analysis: distribution statistics, format wins, text reports."""
 from .stats import BoxStats, box_stats, bin_by, geometric_mean
-from .wins import format_wins, win_table
+from .wins import format_wins, win_table, confusion_table
 from .report import format_table, ascii_boxplot, boxplot_panel
 from .slices import feature_slice, bottleneck_census, optimal_ranges

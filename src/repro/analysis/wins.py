@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["format_wins", "win_table"]
+__all__ = ["format_wins", "win_table", "confusion_table"]
 
 
 def format_wins(rows: Sequence[dict]) -> Dict[str, float]:
@@ -32,3 +32,21 @@ def win_table(
         dev_rows = [r for r in rows if r["device"] == dev]
         out[dev] = format_wins(dev_rows)
     return out
+
+
+def confusion_table(
+    pairs: Sequence[Tuple[str, str]]
+) -> Dict[str, Dict[str, int]]:
+    """Oracle-vs-chosen selection counts: ``{oracle: {chosen: n}}``.
+
+    ``pairs`` are (oracle_format, chosen_format) tuples, one per
+    evaluated matrix (the selector's ``choices`` detail).  Keys are
+    sorted so the table renders and serialises deterministically.
+    """
+    counts: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for oracle, chosen in pairs:
+        counts[oracle][chosen] += 1
+    return {
+        oracle: dict(sorted(row.items()))
+        for oracle, row in sorted(counts.items())
+    }

@@ -1,20 +1,25 @@
 """Command-line interface.
 
-Five subcommands wrap the library's main workflows::
+Six subcommands wrap the library's main workflows::
 
-    repro generate  --rows 20000 --avg 25 --skew 50 --out m.mtx
-    repro features  m.mtx
-    repro simulate  m.mtx --device Tesla-A100 [--format CSR5] [--fp32]
-    repro sweep     --scale tiny --devices Tesla-A100,AMD-EPYC-64 --out r.csv
-    repro validate  --ids 1,11,39 --device AMD-EPYC-24
+    repro generate   --rows 20000 --avg 25 --skew 50 --out m.mtx
+    repro features   m.mtx
+    repro simulate   m.mtx --device Tesla-A100 [--format CSR5] [--fp32]
+    repro sweep      --scale tiny --devices Tesla-A100,AMD-EPYC-64 --out r.csv
+    repro validate   --ids 1,11,39 --device AMD-EPYC-24
+    repro experiment --scale tiny --protocol kfold --out result.json
 
-Every command prints human-readable tables; ``sweep`` also persists the
-raw measurement rows as CSV for downstream analysis.
+Every command prints human-readable tables; ``sweep`` persists the raw
+measurement rows as CSV and ``experiment`` persists its cross-validated
+selector results as deterministic JSON or CSV.  Bad arguments and
+unknown device/format/scale names exit with status 2 and an actionable
+message on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -82,6 +87,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated Table III matrix ids")
     v.add_argument("--device", default="AMD-EPYC-24")
     v.add_argument("--friends", type=int, default=6)
+
+    # Choices come from the experiments registries so the CLI can never
+    # drift from what the spec actually accepts (importing the package
+    # costs nothing extra: ``repro/__init__`` already pulls its deps).
+    from .experiments.spec import MODEL_FAMILIES, PROTOCOLS, SCALES
+
+    e = sub.add_parser(
+        "experiment",
+        help="cross-validated format-selector experiment",
+    )
+    e.add_argument("--scale", default="tiny", choices=SCALES)
+    e.add_argument("--devices", default=None,
+                   help="comma-separated testbed names (default: all)")
+    e.add_argument("--formats", default=None,
+                   help="comma-separated candidate formats "
+                        "(default: each device's Table-II list)")
+    e.add_argument("--protocol", default="kfold", choices=PROTOCOLS,
+                   help="kfold: per-device instance folds; lodo: "
+                        "leave-one-device-out transfer")
+    e.add_argument("--folds", type=int, default=5,
+                   help="fold count for the kfold protocol")
+    e.add_argument("--model", default="forest",
+                   choices=sorted(MODEL_FAMILIES))
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--max-nnz", type=int, default=80_000)
+    e.add_argument("--limit", type=int, default=None,
+                   help="use only the first N dataset specs (smoke runs)")
+    e.add_argument("--fp32", action="store_true",
+                   help="score the sweep at single precision")
+    e.add_argument("--jobs", type=int, default=1,
+                   help="parallel sweep workers (0 = auto-detect cores; "
+                        "results are identical to --jobs 1)")
+    e.add_argument("--cache-dir", default=None,
+                   help="persistent instance cache directory")
+    e.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="score the sweep through the vectorised grid "
+                        "simulator (default; results identical either way)")
+    e.add_argument("--out", default=None,
+                   help="write results to a .json (full, deterministic) "
+                        "or .csv (per-fold summary) file")
     return parser
 
 
@@ -247,19 +293,97 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_experiment(args) -> int:
+    from .experiments import ExperimentSpec, run_experiment
+    from .io import write_rows
+
+    if args.out:
+        # Fail before the sweep runs, not after minutes of work: check
+        # the extension, then probe that the path is writable ("a" so an
+        # existing file is not truncated by the probe).
+        if not args.out.endswith((".json", ".csv")):
+            raise ValueError(
+                f"unknown output extension for {args.out!r}; "
+                "use .json (full result) or .csv (per-fold summary)"
+            )
+        probe_created = not os.path.exists(args.out)
+        with open(args.out, "a"):
+            pass
+        if probe_created:
+            # Don't leave a stray empty file if the run later fails.
+            os.remove(args.out)
+    spec = ExperimentSpec(
+        scale=args.scale,
+        devices=tuple(args.devices.split(",")) if args.devices else (),
+        formats=tuple(args.formats.split(",")) if args.formats else None,
+        precision="fp32" if args.fp32 else "fp64",
+        max_nnz=args.max_nnz,
+        limit=args.limit,
+        protocol=args.protocol,
+        n_splits=args.folds,
+        seed=args.seed,
+        model=args.model,
+    )
+    names = ", ".join(spec.device_names)
+    print(
+        f"running {spec.protocol} experiment on {names} "
+        f"(scale={spec.scale}, model={spec.model}, seed={spec.seed}) ..."
+    )
+    result = run_experiment(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
+        progress=lambda i, n: print(f"\r  sweep {i}/{n}", end="",
+                                    flush=True),
+    )
+    print()
+    print(result.render())
+    if args.out:
+        if args.out.endswith(".json"):
+            with open(args.out, "w") as fh:
+                fh.write(result.to_json())
+        else:
+            write_rows(args.out, result.to_rows())
+        print(f"wrote results to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "features": _cmd_features,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "validate": _cmd_validate,
+    "experiment": _cmd_experiment,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``repro`` console script)."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        # ValueError is this codebase's validation convention (specs,
+        # registries, generators all raise it with actionable messages
+        # for bad input), so it follows the argparse exit convention.
+        # The cost is that an internal ValueError bug would be masked
+        # too — set REPRO_DEBUG=1 to re-raise with the full traceback.
+        if os.environ.get("REPRO_DEBUG", "") not in ("", "0"):
+            raise
+        print(f"error: {exc.args[0] if exc.args else exc}",
+              file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # The registries raise KeyError("unknown <kind> ...; available:
+        # ...") for name lookups.  Only that convention is user input —
+        # any other KeyError is a bug and must keep its traceback.
+        message = exc.args[0] if exc.args else ""
+        if isinstance(message, str) and message.startswith("unknown "):
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        raise
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -127,6 +127,7 @@ def spec_rows(
     best_only: bool = True,
     formats: Optional[Sequence[str]] = None,
     seed: int = 0,
+    precision: str = "fp64",
 ) -> List[dict]:
     """Measurement rows for spec ``i`` across ``devices`` — the scalar
     reference path.
@@ -145,7 +146,8 @@ def spec_rows(
     for dev in devices:
         names = list(formats) if formats else list(dev.formats)
         if best_only:
-            m = simulate_best(inst, dev, formats=names, seed=seed)
+            m = simulate_best(inst, dev, formats=names, seed=seed,
+                              precision=precision)
             if m is None:
                 continue
             rows.append(
@@ -157,7 +159,8 @@ def spec_rows(
         else:
             for fmt in names:
                 try:
-                    m = simulate_spmv(inst, fmt, dev, seed=seed)
+                    m = simulate_spmv(inst, fmt, dev, seed=seed,
+                                      precision=precision)
                 except FormatError:
                     continue
                 rows.append(
@@ -177,6 +180,7 @@ def grid_spec_rows(
     best_only: bool = True,
     formats: Optional[Sequence[str]] = None,
     seed: int = 0,
+    precision: str = "fp64",
 ) -> List[dict]:
     """Measurement rows for specs ``lo..hi`` via the batched grid
     simulator — row-for-row identical to calling :func:`spec_rows` per
@@ -187,7 +191,8 @@ def grid_spec_rows(
 
     indices = list(range(lo, hi))
     instances = [dataset.instance(i) for i in indices]
-    grid = simulate_grid(instances, devices, formats=formats, seed=seed)
+    grid = simulate_grid(instances, devices, formats=formats, seed=seed,
+                         precisions=(precision,))
 
     def measurement(idx: int) -> dict:
         rec = grid.data[idx]
@@ -230,6 +235,7 @@ def sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     batch: bool = True,
+    precision: str = "fp64",
 ) -> MeasurementTable:
     """Simulate the dataset on every device.
 
@@ -243,7 +249,8 @@ def sweep(
     auto-detects the core count.  ``cache_dir`` enables the persistent
     instance cache.  ``batch`` (the default) scores each chunk through
     the vectorised grid simulator; ``batch=False`` keeps the scalar
-    per-triple loop.  Output is row-for-row identical across all
+    per-triple loop.  ``precision`` scores every cell at fp64 (the
+    default) or fp32.  Output is row-for-row identical across all
     engines, cache states and batch modes; every path funnels through
     :func:`repro.pipeline.run_sweep`.
     """
@@ -252,5 +259,5 @@ def sweep(
     return run_sweep(
         dataset, devices, best_only=best_only, formats=formats,
         seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress,
-        batch=batch,
+        batch=batch, precision=precision,
     )

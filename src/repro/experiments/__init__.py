@@ -1,0 +1,5 @@
+"""Reproducible selector experiments: spec -> sweep -> CV -> report."""
+from .spec import ExperimentSpec, MODEL_FAMILIES, PROTOCOLS, SCALES
+from .splits import Fold, kfold_splits, leave_one_device_out
+from .runner import run_experiment
+from .report import ExperimentResult, FoldResult

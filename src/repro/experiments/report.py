@@ -1,0 +1,222 @@
+"""Columnar experiment results: per-fold reports + aggregate tables.
+
+An :class:`ExperimentResult` is the runner's output: the spec manifest,
+one :class:`FoldResult` per (device, fold) with the selector's
+:class:`~repro.ml.selector.SelectionReport` and per-instance choice
+detail, and aggregation helpers that render Table-IV-style summaries,
+win rates and oracle-vs-chosen confusion tables through the
+:mod:`repro.analysis` layer.
+
+Serialisation is deterministic: ``to_json`` sorts keys and the fold
+order is fixed by the runner, so the same spec always produces
+byte-identical JSON (the golden regression suite pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis import confusion_table, format_table
+from .spec import ExperimentSpec
+
+__all__ = ["FoldResult", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """One evaluated fold: which slice was held out and how it scored.
+
+    ``report`` is None for folds that could not run (e.g. a
+    leave-one-device-out fold whose source devices share no format with
+    the held-out device); ``note`` then says why.
+    """
+
+    device: str
+    fold: str
+    n_train: int
+    n_test: int
+    report: Optional[dict] = None
+    choices: List[dict] = field(default_factory=list)
+    note: str = ""
+
+    @property
+    def scored(self) -> bool:
+        return self.report is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "fold": self.fold,
+            "n_train": self.n_train,
+            "n_test": self.n_test,
+            "report": dict(self.report) if self.report else None,
+            "choices": list(self.choices),
+            "note": self.note,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    spec: ExperimentSpec
+    folds: List[FoldResult]
+    n_instances: int
+    n_rows: int
+
+    # ------------------------------------------------------------------
+    def scored_folds(self) -> List[FoldResult]:
+        return [f for f in self.folds if f.scored]
+
+    def summary(self) -> Dict[str, dict]:
+        """Per-device aggregates over scored folds (plus ``overall``).
+
+        ``mean_*`` average the per-fold report fields;
+        ``worst_retained`` is the minimum over folds — the paper's
+        guarantee-style number.
+        """
+        def aggregate(reports: List[dict]) -> dict:
+            return {
+                "n_folds": len(reports),
+                "top1_accuracy": float(
+                    np.mean([r["top1_accuracy"] for r in reports])
+                ),
+                "mean_retained": float(
+                    np.mean([r["mean_retained"] for r in reports])
+                ),
+                "worst_retained": float(
+                    np.min([r["worst_retained"] for r in reports])
+                ),
+                "n_matrices": int(
+                    np.sum([r["n_matrices"] for r in reports])
+                ),
+            }
+
+        groups: Dict[str, List[dict]] = {}
+        for f in self.scored_folds():
+            groups.setdefault(f.device, []).append(f.report)
+        out = {
+            device: aggregate(reports)
+            for device, reports in sorted(groups.items())
+        }
+        all_reports = [r for reports in groups.values() for r in reports]
+        if all_reports:
+            out["overall"] = aggregate(all_reports)
+        return out
+
+    def confusion(self, device: Optional[str] = None) -> dict:
+        """Oracle-vs-chosen counts, pooled or for one device."""
+        pairs = [
+            (c["oracle"], c["chosen"])
+            for f in self.scored_folds()
+            if device is None or f.device == device
+            for c in f.choices
+        ]
+        return confusion_table(pairs)
+
+    def win_rates(self, device: Optional[str] = None) -> Dict[str, dict]:
+        """Per-format oracle wins vs selector picks (percent)."""
+        oracle: Dict[str, int] = {}
+        chosen: Dict[str, int] = {}
+        total = 0
+        for f in self.scored_folds():
+            if device is not None and f.device != device:
+                continue
+            for c in f.choices:
+                oracle[c["oracle"]] = oracle.get(c["oracle"], 0) + 1
+                chosen[c["chosen"]] = chosen.get(c["chosen"], 0) + 1
+                total += 1
+        if not total:
+            return {}
+        return {
+            fmt: {
+                "oracle_pct": 100.0 * oracle.get(fmt, 0) / total,
+                "selected_pct": 100.0 * chosen.get(fmt, 0) / total,
+            }
+            for fmt in sorted(set(oracle) | set(chosen))
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": 1,
+            "spec": self.spec.to_dict(),
+            "n_instances": self.n_instances,
+            "n_rows": self.n_rows,
+            "folds": [f.to_dict() for f in self.folds],
+            "summary": self.summary(),
+            "confusion": self.confusion(),
+            "win_rates": self.win_rates(),
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: same spec -> byte-identical text."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_rows(self) -> List[dict]:
+        """Flat per-fold rows (CSV export schema)."""
+        rows = []
+        for f in self.folds:
+            row = {
+                "device": f.device,
+                "fold": f.fold,
+                "n_train": f.n_train,
+                "n_test": f.n_test,
+                "note": f.note,
+            }
+            if f.scored:
+                row.update(
+                    top1_accuracy=f.report["top1_accuracy"],
+                    mean_retained=f.report["mean_retained"],
+                    worst_retained=f.report["worst_retained"],
+                    n_matrices=f.report["n_matrices"],
+                )
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable report (per-fold table + device summary)."""
+        fold_rows = []
+        for f in self.folds:
+            if f.scored:
+                fold_rows.append([
+                    f.device, f.fold, f.n_test,
+                    round(f.report["top1_accuracy"], 3),
+                    round(f.report["mean_retained"], 3),
+                    round(f.report["worst_retained"], 3),
+                    "",
+                ])
+            else:
+                fold_rows.append(
+                    [f.device, f.fold, f.n_test, "-", "-", "-",
+                     f.note or "skipped"]
+                )
+        spec = self.spec
+        title = (
+            f"{spec.protocol} selector experiment — scale={spec.scale}, "
+            f"model={spec.model}, precision={spec.precision}, "
+            f"seed={spec.seed}"
+        )
+        parts = [format_table(
+            ["device", "fold", "held-out", "top-1 acc", "mean retained",
+             "worst retained", "note"],
+            fold_rows, title=title,
+        )]
+        summary_rows = [
+            [name, s["n_folds"], s["n_matrices"],
+             round(s["top1_accuracy"], 3), round(s["mean_retained"], 3),
+             round(s["worst_retained"], 3)]
+            for name, s in self.summary().items()
+        ]
+        if summary_rows:
+            parts.append(format_table(
+                ["device", "folds", "matrices", "top-1 acc",
+                 "mean retained", "worst retained"],
+                summary_rows, title="Summary",
+            ))
+        return "\n".join(parts)

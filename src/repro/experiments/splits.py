@@ -1,0 +1,80 @@
+"""Deterministic cross-validation splits.
+
+Both protocols return plain tuples of *keys* (matrix names or device
+names), not indices, so folds stay meaningful across engines and cache
+states.  Splits are pure functions of ``(keys, n_splits, seed)``:
+seeded, order-normalised, and — the property suite's invariant — the
+test folds partition the key set (pairwise disjoint and exhaustive).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Fold", "kfold_splits", "leave_one_device_out"]
+
+
+class Fold(Tuple[Tuple[str, ...], Tuple[str, ...]]):
+    """A (train_keys, test_keys) pair with named accessors."""
+
+    def __new__(cls, train, test):
+        return super().__new__(cls, (tuple(train), tuple(test)))
+
+    @property
+    def train(self) -> Tuple[str, ...]:
+        return self[0]
+
+    @property
+    def test(self) -> Tuple[str, ...]:
+        return self[1]
+
+
+def kfold_splits(
+    keys: Sequence[str], n_splits: int, seed: int = 0
+) -> List[Fold]:
+    """Shuffled k-fold partition of ``keys``.
+
+    Keys are deduplicated preserving first appearance, then permuted by
+    a ``default_rng(seed)`` draw over their *sorted* order — so the folds
+    depend only on the key set and the seed, never on row order.
+    """
+    uniq = sorted(dict.fromkeys(keys))
+    if not uniq:
+        raise ValueError("no keys to split")
+    if n_splits < 2 or n_splits > len(uniq):
+        raise ValueError(
+            f"need 2 <= n_splits <= {len(uniq)} keys, got "
+            f"n_splits={n_splits}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(uniq))
+    chunks = np.array_split(order, n_splits)
+    folds = []
+    for i in range(n_splits):
+        test = tuple(uniq[j] for j in chunks[i])
+        train = tuple(
+            uniq[j] for c in range(n_splits) if c != i for j in chunks[c]
+        )
+        folds.append(Fold(train, test))
+    return folds
+
+
+def leave_one_device_out(
+    devices: Sequence[str],
+) -> List[Fold]:
+    """One fold per device: train on the others, test on the held-out one.
+
+    Order follows the input device list (already deterministic — specs
+    normalise it), duplicates rejected.
+    """
+    devices = list(devices)
+    if len(set(devices)) != len(devices):
+        raise ValueError(f"duplicate devices in {devices}")
+    if len(devices) < 2:
+        raise ValueError("leave-one-device-out needs at least two devices")
+    return [
+        Fold([d for d in devices if d != held_out], [held_out])
+        for held_out in devices
+    ]

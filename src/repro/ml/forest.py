@@ -62,5 +62,22 @@ class RandomForestRegressor:
     def predict(self, X) -> np.ndarray:
         if not self.trees_:
             raise RuntimeError("model not fitted")
-        preds = np.stack([t.predict(X) for t in self.trees_])
-        return preds.mean(axis=0)
+        # Validate and convert once; each tree's asarray is then a no-op,
+        # which matters when the selector batches hundreds of queries.
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.trees_[0].n_features_:
+            raise ValueError(
+                f"bad predict shape {X.shape}; expected "
+                f"(n, {self.trees_[0].n_features_})"
+            )
+        # Sequential tree-order accumulation: ``stack(...).mean(axis=0)``
+        # switches between pairwise and strided reduction with the batch
+        # width, which would make batched predictions differ from
+        # single-row ones in the last ulp.  This order is identical for
+        # every batch size, keeping the selector's batch path bit-equal
+        # to its scalar oracle.
+        out = np.zeros(len(X), dtype=np.float64)
+        for tree in self.trees_:
+            out += tree.predict(X)
+        out /= len(self.trees_)
+        return out

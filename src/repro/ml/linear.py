@@ -45,7 +45,16 @@ class LinearRegression:
         if self.coef_ is None:
             raise RuntimeError("model not fitted")
         X = np.asarray(X, dtype=np.float64)
-        return X @ self.coef_ + self.intercept_
+        if X.ndim == 1:
+            # Single sample as a vector (the old ``X @ coef`` accepted
+            # this shape, returning a scalar).
+            return (X * self.coef_).sum() + self.intercept_
+        # Row-wise multiply-and-sum instead of ``X @ coef``: BLAS picks
+        # different accumulation orders for gemv vs gemm, so matmul
+        # results can drift in the last ulp with the batch width.  The
+        # per-row pairwise sum is independent of how many rows are
+        # predicted together, which the selector's batch path relies on.
+        return (X * self.coef_).sum(axis=1) + self.intercept_
 
 
 class RidgeRegression(LinearRegression):

@@ -124,6 +124,20 @@ class FormatSelector:
             [np.log1p(abs(float(features[k]))) for k in self.feature_keys]
         )
 
+    def _matrix(self, features_seq: Sequence[dict]) -> np.ndarray:
+        """Feature matrix for many instances in one vectorised pass.
+
+        ``np.log1p`` is applied elementwise either way, so each row is
+        bit-identical to the corresponding :meth:`_vector` call — the
+        batch paths below rely on that.
+        """
+        raw = np.array(
+            [[abs(float(f[k])) for k in self.feature_keys]
+             for f in features_seq],
+            dtype=np.float64,
+        ).reshape(len(features_seq), len(self.feature_keys))
+        return np.log1p(raw)
+
     def fit(self, rows) -> "FormatSelector":
         """Train from sweep rows — dicts with the feature keys plus
         ``format`` and ``gflops`` — or directly from a
@@ -143,7 +157,7 @@ class FormatSelector:
         if not by_matrix:
             raise ValueError("no training rows")
         keys = list(by_matrix)
-        X = np.array([self._vector(by_matrix[k]) for k in keys])
+        X = self._matrix([by_matrix[k] for k in keys])
         for fmt in self.formats:
             y = np.array([perf[k].get(fmt, 0.0) for k in keys])
             self._models[fmt] = self._factory().fit(X, y)
@@ -165,9 +179,54 @@ class FormatSelector:
         return max(scores, key=scores.get)
 
     # ------------------------------------------------------------------
-    def evaluate(self, rows) -> SelectionReport:
+    def predict_gflops_batch(
+        self, features_seq: Sequence[dict]
+    ) -> Dict[str, np.ndarray]:
+        """Predicted GFLOPS for every format over many instances.
+
+        One ``model.predict`` call per format over the whole batch;
+        entry ``[fmt][i]`` equals ``predict_gflops(features_seq[i])[fmt]``
+        bit for bit (per-sample tree routing and the per-format model are
+        independent of batch size).
+        """
+        if not self._models:
+            raise RuntimeError("selector not fitted")
+        X = self._matrix(list(features_seq))
+        return {
+            fmt: np.asarray(model.predict(X), dtype=np.float64)
+            for fmt, model in self._models.items()
+        }
+
+    def select_batch(self, features_seq: Sequence[dict]) -> List[str]:
+        """Best predicted format per instance (batch :meth:`select`).
+
+        Ties resolve to the earliest fitted format, exactly as the
+        scalar ``max`` over the prediction dict does.
+        """
+        features_seq = list(features_seq)
+        if not features_seq:
+            if not self._models:
+                raise RuntimeError("selector not fitted")
+            return []
+        scores = self.predict_gflops_batch(features_seq)
+        names = list(scores)
+        stacked = np.stack([scores[f] for f in names])
+        return [names[i] for i in np.argmax(stacked, axis=0)]
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, rows, batch: bool = True, detail: bool = False
+    ) -> SelectionReport:
         """Top-1 accuracy and oracle-relative performance on held-out rows
-        (same schema as :meth:`fit`, or a ``GridResult``)."""
+        (same schema as :meth:`fit`, or a ``GridResult``).
+
+        ``batch`` (the default) scores all held-out instances with one
+        ``model.predict`` per format; ``batch=False`` keeps the
+        per-instance scalar loop as the reference oracle.  Both produce
+        bit-identical reports.  ``detail`` adds a ``choices`` list with
+        the per-instance (oracle, chosen, retained) triples that the
+        experiment reports aggregate into win/confusion tables.
+        """
         perf: Dict[tuple, Dict[str, float]] = {}
         feats: Dict[tuple, dict] = {}
         for r in _as_rows(rows):
@@ -176,15 +235,31 @@ class FormatSelector:
             feats[key] = r
         if not perf:
             raise ValueError("no evaluation rows")
-        hits, retained = 0, []
-        for key, truth in perf.items():
+        keys = list(perf)
+        if batch:
+            chosen_per_key = self.select_batch([feats[k] for k in keys])
+        else:
+            chosen_per_key = [self.select(feats[k]) for k in keys]
+        hits, retained, choices = 0, [], []
+        for key, chosen in zip(keys, chosen_per_key):
+            truth = perf[key]
             oracle = max(truth, key=truth.get)
-            chosen = self.select(feats[key])
             hits += chosen == oracle
-            retained.append(truth.get(chosen, 0.0) / truth[oracle])
-        return SelectionReport(
+            kept = truth.get(chosen, 0.0) / truth[oracle]
+            retained.append(kept)
+            if detail:
+                choices.append({
+                    "instance": key[1],
+                    "oracle": oracle,
+                    "chosen": chosen,
+                    "retained": kept,
+                })
+        report = SelectionReport(
             top1_accuracy=hits / len(perf),
             mean_retained=float(np.mean(retained)),
             worst_retained=float(np.min(retained)),
             n_matrices=len(perf),
         )
+        if detail:
+            report["choices"] = choices
+        return report

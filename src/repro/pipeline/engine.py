@@ -64,6 +64,7 @@ def _sweep_range(
     seed: int,
     cache: Optional[InstanceCache],
     batch: bool = True,
+    precision: str = "fp64",
 ) -> List[dict]:
     """Rows for specs ``lo..hi`` with cache write-back per spec.
 
@@ -76,6 +77,7 @@ def _sweep_range(
         rows = grid_spec_rows(
             dataset, lo, hi, devices,
             best_only=best_only, formats=formats, seed=seed,
+            precision=precision,
         )
         if cache is not None:
             # Store after scoring so the persisted entries carry the
@@ -91,6 +93,7 @@ def _sweep_range(
             spec_rows(
                 dataset, i, devices,
                 best_only=best_only, formats=formats, seed=seed,
+                precision=precision,
             )
         )
         if cache is not None:
@@ -104,20 +107,23 @@ _WORKER: dict = {}
 
 
 def _init_worker(specs, max_nnz, name, devices, best_only, formats, seed,
-                 cache_dir, batch) -> None:
+                 cache_dir, batch, precision) -> None:
     cache = InstanceCache(cache_dir) if cache_dir else None
     _WORKER["dataset"] = Dataset(
         specs, max_nnz=max_nnz, name=name, cache=cache
     )
-    _WORKER["args"] = (devices, best_only, formats, seed, cache, batch)
+    _WORKER["args"] = (
+        devices, best_only, formats, seed, cache, batch, precision
+    )
 
 
 def _run_chunk(task):
     chunk_id, (lo, hi) = task
-    devices, best_only, formats, seed, cache, batch = _WORKER["args"]
+    devices, best_only, formats, seed, cache, batch, precision = \
+        _WORKER["args"]
     rows = _sweep_range(
         _WORKER["dataset"], lo, hi, devices, best_only, formats, seed,
-        cache, batch,
+        cache, batch, precision,
     )
     return chunk_id, rows, hi - lo
 
@@ -133,6 +139,7 @@ def run_sweep(
     cache: Optional[InstanceCache] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     batch: bool = True,
+    precision: str = "fp64",
 ) -> MeasurementTable:
     """Sharded, cached sweep (see module docstring).
 
@@ -141,6 +148,8 @@ def run_sweep(
     opens its own handle onto the shared directory).  ``batch`` routes
     chunk scoring through the vectorised grid simulator (identical rows,
     one NumPy pass per chunk); ``batch=False`` keeps the scalar loop.
+    ``precision`` scores every cell at fp64 (default) or fp32 — the
+    experiment runner sweeps one precision slice at a time.
     """
     n = len(dataset)
     jobs = resolve_jobs(jobs)
@@ -163,7 +172,7 @@ def run_sweep(
             rows.extend(
                 _sweep_range(
                     dataset, lo, hi, devices, best_only, formats, seed,
-                    cache, batch,
+                    cache, batch, precision,
                 )
             )
             if progress is not None:
@@ -184,7 +193,7 @@ def run_sweep(
     bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
     init_args = (
         dataset.specs, dataset.max_nnz, dataset.name, list(devices),
-        best_only, formats, seed, cache_dir, batch,
+        best_only, formats, seed, cache_dir, batch, precision,
     )
     results: dict = {}
     done = 0

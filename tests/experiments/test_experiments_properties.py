@@ -1,0 +1,107 @@
+"""Property tests for the selector/experiments invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import kfold_splits
+from repro.ml import FormatSelector
+
+FORMATS = ["F0", "F1", "F2"]
+
+
+def _rows(seed, n_matrices, n_formats):
+    """Synthetic per-format measurement rows with positive GFLOPS."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n_matrices):
+        feats = {
+            "matrix": f"m{i}",
+            "mem_footprint_mb": float(rng.uniform(1, 512)),
+            "avg_nnz_per_row": float(rng.uniform(1, 200)),
+            "skew_coeff": float(rng.uniform(0, 5000)),
+            "cross_row_similarity": float(rng.uniform(0, 1)),
+            "avg_num_neighbours": float(rng.uniform(0, 2)),
+        }
+        for fmt in FORMATS[:n_formats]:
+            rows.append({
+                **feats, "format": fmt,
+                "gflops": float(rng.uniform(1.0, 150.0)),
+            })
+    return rows
+
+
+class _Memoriser:
+    """Regressor that recalls training targets exactly by feature row —
+    fed its own sweep, the selector becomes the oracle."""
+
+    def fit(self, X, y):
+        self._table = {tuple(row): t for row, t in zip(X, y)}
+        return self
+
+    def predict(self, X):
+        return np.array([self._table[tuple(row)] for row in X])
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_matrices=st.integers(3, 30),
+    n_formats=st.integers(1, 3),
+    train_seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_report_fields_bounded(seed, n_matrices, n_formats, train_seed):
+    from repro.ml import KNeighborsRegressor
+
+    sel = FormatSelector(
+        FORMATS[:n_formats],
+        model_factory=lambda: KNeighborsRegressor(n_neighbors=3),
+    ).fit(_rows(train_seed, 10, n_formats))
+    report = sel.evaluate(_rows(seed, n_matrices, n_formats))
+    assert 0.0 <= report["top1_accuracy"] <= 1.0
+    assert report["worst_retained"] <= report["mean_retained"] <= 1.0
+    assert report["n_matrices"] == n_matrices
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_matrices=st.integers(2, 30),
+    n_formats=st.integers(1, 3),
+)
+@settings(max_examples=20, deadline=None)
+def test_oracle_fed_selector_retains_exactly_one(
+    seed, n_matrices, n_formats
+):
+    """A selector whose model recalls the true GFLOPS always picks the
+    oracle format: accuracy and retained performance are exactly 1.0."""
+    rows = _rows(seed, n_matrices, n_formats)
+    sel = FormatSelector(
+        FORMATS[:n_formats], model_factory=lambda: _Memoriser()
+    ).fit(rows)
+    report = sel.evaluate(rows)
+    assert report["top1_accuracy"] == 1.0
+    assert report["mean_retained"] == 1.0
+    assert report["worst_retained"] == 1.0
+
+
+@given(
+    n_keys=st.integers(2, 60),
+    n_splits=st.integers(2, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_kfold_partitions_instances(n_keys, n_splits, seed):
+    keys = [f"m{i}" for i in range(n_keys)]
+    n_splits = min(n_splits, n_keys)
+    folds = kfold_splits(keys, n_splits, seed=seed)
+    tests = [set(f.test) for f in folds]
+    # Exhaustive: every key held out exactly once.
+    assert sorted(k for t in tests for k in t) == sorted(keys)
+    # Disjoint test folds, and train = complement of test.
+    for i, fold in enumerate(folds):
+        assert set(fold.train) | tests[i] == set(keys)
+        assert not set(fold.train) & tests[i]
+        for j in range(i + 1, n_splits):
+            assert not tests[i] & tests[j]
+    # Seed-stable.
+    assert folds == kfold_splits(keys, n_splits, seed=seed)

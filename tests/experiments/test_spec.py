@@ -1,0 +1,78 @@
+"""ExperimentSpec: validation, defaults, manifest round-trips."""
+
+import json
+
+import pytest
+
+from repro.devices import TESTBEDS
+from repro.experiments import ExperimentSpec, MODEL_FAMILIES
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ExperimentSpec()
+        assert spec.protocol == "kfold"
+        assert spec.device_names == tuple(TESTBEDS)
+
+    @pytest.mark.parametrize("bad, match", [
+        (dict(scale="galactic"), "unknown scale"),
+        (dict(protocol="loo"), "unknown protocol"),
+        (dict(model="xgboost"), "unknown model"),
+        (dict(precision="fp16"), "unknown precision"),
+        (dict(devices=("Cray-1",)), "unknown device"),
+        (dict(formats=("NOT-A-FORMAT",)), "unknown format"),
+        (dict(n_splits=1), "n_splits"),
+        (dict(limit=3, n_splits=5), "fewer instances"),
+        (dict(devices=("INTEL-XEON", "INTEL-XEON")), "duplicate devices"),
+        (dict(formats=("CSR5", "CSR5")), "duplicate formats"),
+        (dict(max_nnz=0), "max_nnz"),
+        (dict(limit=0), "limit"),
+        (dict(feature_keys=()), "feature key"),
+        (dict(protocol="lodo", devices=("INTEL-XEON",)), "two devices"),
+    ])
+    def test_bad_values_raise_actionable(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            ExperimentSpec(**bad)
+
+    def test_error_names_alternatives(self):
+        with pytest.raises(ValueError, match="Tesla-A100"):
+            ExperimentSpec(devices=("tesla-a100",))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = ExperimentSpec(
+            scale="tiny", devices=("INTEL-XEON", "Tesla-V100"),
+            formats=("Naive-CSR", "CSR5"), precision="fp32",
+            limit=12, protocol="lodo", seed=7, model="knn",
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_with_lists(self):
+        spec = ExperimentSpec(devices=("INTEL-XEON",), n_splits=3)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ExperimentSpec.from_dict(payload) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment spec"):
+            ExperimentSpec.from_dict({"scale": "tiny", "shards": 4})
+
+
+class TestFactories:
+    @pytest.mark.parametrize("model", sorted(MODEL_FAMILIES))
+    def test_model_factory_returns_fresh_regressors(self, model):
+        spec = ExperimentSpec(model=model)
+        factory = spec.model_factory()
+        a, b = factory(), factory()
+        assert a is not b
+        assert hasattr(a, "fit") and hasattr(a, "predict")
+
+    def test_forest_factory_seeded_by_spec(self):
+        assert ExperimentSpec(seed=9).model_factory()().random_state == 9
+
+    def test_candidate_formats_default_to_device_list(self):
+        spec = ExperimentSpec()
+        dev = TESTBEDS["INTEL-XEON"]
+        assert spec.candidate_formats(dev) == tuple(dev.formats)
+        pinned = ExperimentSpec(formats=("Naive-CSR",))
+        assert pinned.candidate_formats(dev) == ("Naive-CSR",)

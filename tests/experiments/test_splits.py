@@ -1,0 +1,59 @@
+"""Deterministic CV splits: partition, seeding, order independence."""
+
+import pytest
+
+from repro.experiments import kfold_splits, leave_one_device_out
+
+
+class TestKFold:
+    def test_folds_partition_keys(self):
+        keys = [f"m{i}" for i in range(17)]
+        folds = kfold_splits(keys, 5, seed=3)
+        assert len(folds) == 5
+        tests = [set(f.test) for f in folds]
+        assert set().union(*tests) == set(keys)  # exhaustive
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert not tests[i] & tests[j]  # disjoint
+        for f in folds:
+            assert set(f.train) == set(keys) - set(f.test)
+
+    def test_seed_stable_and_seed_sensitive(self):
+        keys = [f"m{i}" for i in range(20)]
+        assert kfold_splits(keys, 4, seed=1) == kfold_splits(keys, 4, seed=1)
+        assert kfold_splits(keys, 4, seed=1) != kfold_splits(keys, 4, seed=2)
+
+    def test_row_order_and_duplicates_do_not_matter(self):
+        keys = [f"m{i}" for i in range(9)]
+        shuffled = list(reversed(keys)) + keys  # reordered + duplicated
+        assert kfold_splits(keys, 3, seed=0) == \
+            kfold_splits(shuffled, 3, seed=0)
+
+    def test_bad_split_counts(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            kfold_splits(["a", "b", "c"], 4)
+        with pytest.raises(ValueError, match="n_splits"):
+            kfold_splits(["a", "b", "c"], 1)
+        with pytest.raises(ValueError, match="no keys"):
+            kfold_splits([], 2)
+
+    def test_fold_accessors(self):
+        fold = kfold_splits(["a", "b", "c"], 3, seed=0)[0]
+        assert fold.train == fold[0]
+        assert fold.test == fold[1]
+        assert len(fold.test) == 1
+
+
+class TestLodo:
+    def test_one_fold_per_device(self):
+        devs = ["A", "B", "C"]
+        folds = leave_one_device_out(devs)
+        assert [f.test for f in folds] == [("A",), ("B",), ("C",)]
+        for f in folds:
+            assert set(f.train) == set(devs) - set(f.test)
+
+    def test_duplicates_and_singletons_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            leave_one_device_out(["A", "A"])
+        with pytest.raises(ValueError, match="two devices"):
+            leave_one_device_out(["A"])

@@ -1,0 +1,57 @@
+"""k-NN predict must not materialise the full (n_query, n_train, d)
+broadcast temporary — queries are chunked to a fixed byte budget."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro.ml.knn as knn_mod
+from repro.ml import KNeighborsRegressor
+
+
+def _fitted(n_train=200, d=4, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_train, d))
+    y = rng.normal(size=n_train)
+    return KNeighborsRegressor(**kw).fit(X, y), rng
+
+
+@pytest.mark.parametrize("weights", ["uniform", "distance"])
+def test_chunked_predict_bit_identical_to_one_shot(weights, monkeypatch):
+    model, rng = _fitted(n_train=37, weights=weights, n_neighbors=4)
+    queries = rng.normal(size=(53, 4))
+    reference = model.predict(queries)  # single chunk (fits the budget)
+    monkeypatch.setattr(knn_mod, "CHUNK_BUDGET_BYTES", 37 * 4 * 8 * 5)
+    forced = model.predict(queries)  # ~5-query chunks
+    np.testing.assert_array_equal(forced, reference)
+    monkeypatch.setattr(knn_mod, "CHUNK_BUDGET_BYTES", 1)  # 1-query chunks
+    np.testing.assert_array_equal(model.predict(queries), reference)
+
+
+def test_single_query_and_empty_query():
+    model, rng = _fitted()
+    single = model.predict(rng.normal(size=(1, 4)))
+    assert single.shape == (1,)
+    assert model.predict(np.empty((0, 4))).shape == (0,)
+
+
+def test_large_query_fits_memory_envelope():
+    """A 5k x 5k query at d=4 would need an 800 MB one-shot temporary;
+    chunking must keep peak allocations within a sane envelope."""
+    n = 5_000
+    model, rng = _fitted(n_train=n, d=4, n_neighbors=5)
+    queries = rng.normal(size=(n, 4))
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    pred = model.predict(queries)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert pred.shape == (n,)
+    naive_bytes = n * n * 4 * 8
+    # Budgeted chunks + the (chunk, n_train) distance matrix: well under
+    # half the naive temporary even with slack for interpreter noise.
+    assert peak < naive_bytes / 2, (
+        f"peak {peak / 2**20:.0f} MiB vs naive {naive_bytes / 2**20:.0f} MiB"
+    )
+    assert peak < 400 * 2**20

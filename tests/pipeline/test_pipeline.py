@@ -62,6 +62,18 @@ class TestParallelDeterminism:
         par = sweep(tiny_dataset(), DEVICES, jobs=3)
         assert par.rows == serial_table.rows
 
+    def test_precision_threads_through_every_engine(self, serial_table):
+        """``precision`` reaches the scalar and batched paths in serial
+        and parallel runs alike — identical rows, different from fp64."""
+        fp32 = sweep(tiny_dataset(), DEVICES, precision="fp32")
+        assert fp32.rows != serial_table.rows
+        assert sweep(
+            tiny_dataset(), DEVICES, precision="fp32", jobs=2
+        ).rows == fp32.rows
+        assert sweep(
+            tiny_dataset(), DEVICES, precision="fp32", batch=False
+        ).rows == fp32.rows
+
     def test_progress_reports_monotonic_totals(self):
         seen = []
         sweep(

@@ -1,0 +1,173 @@
+"""CLI exit-code matrix: every subcommand's bad-arg, unknown-name and
+happy paths.
+
+Conventions under test: argparse rejections exit 2 via ``SystemExit``;
+unknown device/format/scale names (and other bad values) return 2 with
+an actionable ``error:`` line on stderr naming the alternatives; happy
+paths return 0 with parseable output.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def tiny_mtx(tmp_path):
+    path = tmp_path / "t.mtx"
+    assert main([
+        "generate", "--rows", "300", "--avg", "4", "--seed", "1",
+        "--out", str(path),
+    ]) == 0
+    return str(path)
+
+
+def _exit_code(argv):
+    with pytest.raises(SystemExit) as err:
+        main(argv)
+    return err.value.code
+
+
+class TestParserRejections:
+    """Malformed invocations die in argparse with exit code 2."""
+
+    @pytest.mark.parametrize("argv", [
+        [],                                        # no subcommand
+        ["frobnicate"],                            # unknown subcommand
+        ["generate", "--avg", "5", "--out", "x"],  # missing --rows
+        ["generate", "--rows", "10", "--avg", "5"],        # missing --out
+        ["generate", "--rows", "ten", "--avg", "5", "--out", "x"],
+        ["features"],                              # missing matrix path
+        ["sweep", "--scale", "galactic", "--out", "x.csv"],
+        ["sweep", "--scale", "tiny"],              # missing --out
+        ["validate", "--friends", "many"],
+        ["experiment", "--protocol", "loocv"],
+        ["experiment", "--model", "svm"],
+        ["experiment", "--folds", "three"],
+    ])
+    def test_exits_2(self, argv):
+        assert _exit_code(argv) == 2
+
+
+class TestUnknownNames:
+    """Registry misses return 2 and name the valid alternatives."""
+
+    @pytest.mark.parametrize("argv, needle", [
+        (["simulate", "MTX", "--device", "Cray-1"], "Tesla-A100"),
+        (["simulate", "MTX", "--format", "CRS"], "CSR5"),
+        (["sweep", "--devices", "Cray-1", "--out", "OUT"], "Tesla-A100"),
+        (["validate", "--device", "Cray-1"], "Tesla-A100"),
+        (["experiment", "--devices", "Cray-1"], "Tesla-A100"),
+        (["experiment", "--formats", "CRS", "--limit", "4"], "CSR5"),
+    ])
+    def test_actionable_message(self, argv, needle, tiny_mtx, tmp_path,
+                                capsys):
+        argv = [tiny_mtx if a == "MTX" else a for a in argv]
+        argv = [str(tmp_path / "o.csv") if a == "OUT" else a for a in argv]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown" in err
+        assert needle in err  # the message lists what *is* available
+
+    def test_missing_matrix_file(self, capsys):
+        assert main(["features", "/nonexistent/m.mtx"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_validate_ids(self, capsys):
+        assert main(["validate", "--ids", "1,two"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_bad_out_extension(self, capsys):
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--limit", "4",
+            "--folds", "2", "--model", "linear", "--max-nnz", "9000",
+            "--out", "results.xlsx",
+        ]) == 2
+        assert ".json" in capsys.readouterr().err
+
+    def test_experiment_unwritable_out_fails_before_sweep(self, capsys):
+        # The writability probe must reject the path up front, not
+        # after minutes of sweeping (the happy-path smoke below takes
+        # seconds, so reaching the sweep would still exit 2 — the
+        # stderr message pins the *probe* as the failure site).
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--limit", "6",
+            "--folds", "2", "--out", "/nonexistent-dir/r.json",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "No such file or directory" in err
+
+    def test_experiment_too_many_folds(self, capsys):
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--limit", "3",
+            "--folds", "5", "--max-nnz", "9000",
+        ]) == 2
+        assert "lower --folds" in capsys.readouterr().err
+
+
+class TestHappyPaths:
+    """Each subcommand exits 0 and prints/persists parseable output."""
+
+    def test_generate_and_features(self, tiny_mtx, capsys):
+        assert main(["features", tiny_mtx]) == 0
+        assert "avg_nnz_per_row" in capsys.readouterr().out
+
+    def test_simulate(self, tiny_mtx, capsys):
+        assert main(["simulate", tiny_mtx, "--device", "INTEL-XEON"]) == 0
+        assert "INTEL-XEON" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main([
+            "validate", "--ids", "1", "--device", "INTEL-XEON",
+            "--friends", "2",
+        ]) == 0
+        assert "MAPE" in capsys.readouterr().out
+
+    def test_sweep(self, tmp_path, monkeypatch, capsys):
+        import repro.core.feature_space as fs
+
+        original = fs.build_dataset_specs
+        monkeypatch.setattr(
+            "repro.core.feature_space.build_dataset_specs",
+            lambda scale, **kw: original(scale, **kw)[:3],
+        )
+        out = tmp_path / "rows.csv"
+        assert main([
+            "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+            "--max-nnz", "9000", "--out", str(out),
+        ]) == 0
+        from repro.io import read_rows
+
+        assert len(read_rows(out)) == 3
+
+    @pytest.mark.parametrize("suffix", ["json", "csv"])
+    def test_experiment_outputs(self, tmp_path, capsys, suffix):
+        out = tmp_path / f"res.{suffix}"
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--limit", "6",
+            "--folds", "2", "--model", "knn", "--max-nnz", "9000",
+            "--out", str(out),
+        ]) == 0
+        assert "Summary" in capsys.readouterr().out
+        if suffix == "json":
+            payload = json.loads(out.read_text())
+            assert payload["spec"]["protocol"] == "kfold"
+            assert len(payload["folds"]) == 2
+        else:
+            from repro.io import read_rows
+
+            rows = read_rows(out)
+            assert len(rows) == 2
+            assert all(r["device"] == "INTEL-XEON" for r in rows)
+
+    def test_experiment_lodo(self, capsys):
+        assert main([
+            "experiment", "--devices", "INTEL-XEON,AMD-EPYC-24",
+            "--protocol", "lodo", "--limit", "5", "--model", "linear",
+            "--max-nnz", "9000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lodo" in out and "AMD-EPYC-24" in out

@@ -1,0 +1,119 @@
+"""Golden end-to-end regression: sweep -> fit -> evaluate.
+
+The whole chain — dataset materialisation, grid scoring, selector
+training, batched evaluation — must produce *identical* results across
+every execution engine: serial vs parallel sweeps, batched vs scalar
+grid scoring, analytic vs materialised format stats, batched vs scalar
+selector evaluation.  Any drift in any layer shows up here as a
+field-level diff of the SelectionReport (and of the raw measurement
+rows, checked first for a sharper failure signal).
+"""
+
+import pytest
+
+from repro.core.dataset import Dataset, sweep
+from repro.core.feature_space import build_dataset_specs
+from repro.devices import TESTBEDS
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.ml import FormatSelector, KNeighborsRegressor
+
+N_SPECS = 8
+MAX_NNZ = 20_000
+DEVICE = "INTEL-XEON"
+
+
+def _dataset():
+    return Dataset(
+        build_dataset_specs("tiny")[:N_SPECS], max_nnz=MAX_NNZ,
+        name="golden",
+    )
+
+
+def _chain(jobs=1, batch=True, stats_engine="analytic", eval_batch=True,
+           cache_dir=None):
+    """One full sweep -> fit -> evaluate pass; returns (rows, report)."""
+    from repro.perfmodel.instance import MatrixInstance
+
+    assert MatrixInstance.stats_engine == "analytic"  # default unchanged
+    dataset = _dataset()
+    if stats_engine != "analytic":
+        # Pin the engine on the concrete instances (serial runs only —
+        # worker processes would re-materialise with the class default).
+        assert jobs == 1
+        for i in range(len(dataset)):
+            dataset.instance(i).stats_engine = stats_engine
+    table = sweep(
+        dataset, [TESTBEDS[DEVICE]], best_only=False, seed=0,
+        jobs=jobs, batch=batch, cache_dir=cache_dir,
+    )
+    rows = table.rows
+    names = sorted({r["matrix"] for r in rows})
+    train = [r for r in rows if r["matrix"] in names[: N_SPECS // 2]]
+    test = [r for r in rows if r["matrix"] in names[N_SPECS // 2:]]
+    selector = FormatSelector(
+        list(TESTBEDS[DEVICE].formats),
+        model_factory=lambda: KNeighborsRegressor(
+            n_neighbors=3, weights="distance"
+        ),
+    ).fit(train)
+    return rows, selector.evaluate(test, batch=eval_batch)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """The reference chain: serial, batched, analytic stats."""
+    return _chain()
+
+
+class TestGoldenChain:
+    def test_reference_report_is_complete_and_sane(self, golden):
+        _, report = golden
+        assert set(report) == {
+            "top1_accuracy", "mean_retained", "worst_retained",
+            "n_matrices",
+        }
+        assert report["n_matrices"] == N_SPECS // 2
+        assert 0.0 <= report["top1_accuracy"] <= 1.0
+        assert 0.0 < report["worst_retained"] \
+            <= report["mean_retained"] <= 1.0
+
+    def test_rerun_is_bit_identical(self, golden):
+        rows, report = _chain()
+        assert rows == golden[0]
+        assert report == golden[1]
+
+    def test_parallel_sweep_matches_serial(self, golden, tmp_path):
+        rows, report = _chain(jobs=2, cache_dir=str(tmp_path / "cache"))
+        assert rows == golden[0]
+        assert report == golden[1]
+
+    def test_scalar_grid_matches_batched(self, golden):
+        rows, report = _chain(batch=False)
+        assert rows == golden[0]
+        assert report == golden[1]
+
+    def test_materialised_stats_match_analytic(self, golden):
+        rows, report = _chain(stats_engine="materialise")
+        assert rows == golden[0]
+        assert report == golden[1]
+
+    def test_scalar_evaluate_matches_batched(self, golden):
+        rows, report = _chain(eval_batch=False)
+        assert rows == golden[0]
+        assert report == golden[1]
+
+
+class TestGoldenExperiment:
+    """The experiment driver inherits the chain's engine-independence."""
+
+    def test_experiment_json_identical_across_engines(self, tmp_path):
+        spec = ExperimentSpec(
+            scale="tiny", devices=(DEVICE,), limit=N_SPECS,
+            max_nnz=MAX_NNZ, n_splits=2, model="knn",
+        )
+        reference = run_experiment(spec).to_json()
+        assert run_experiment(spec, jobs=2).to_json() == reference
+        assert run_experiment(spec, batch=False).to_json() == reference
+        cache = str(tmp_path / "cache")
+        assert run_experiment(spec, cache_dir=cache).to_json() == reference
+        assert run_experiment(spec, cache_dir=cache).to_json() == reference
