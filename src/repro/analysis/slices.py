@@ -4,6 +4,13 @@
 paper extracts per-bottleneck insight from the dataset (Section V-F).
 :func:`feature_slice` implements it over a measurement table, and
 :func:`bottleneck_census` summarises which bottleneck dominates where.
+
+Every function accepts either a :class:`~repro.core.table.SweepTable`
+(vectorised column reductions) or legacy dict rows (the reference path
+the parity suite pins the columnar reductions against).  Grid sweeps
+take few distinct values per feature axis, so the columnar
+:func:`feature_slice` applies the caller's Python predicates once per
+*unique* value and broadcasts the verdicts back through the codes.
 """
 
 from __future__ import annotations
@@ -13,13 +20,34 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.table import SweepTable
 from .stats import BoxStats, box_stats
 
 __all__ = ["feature_slice", "bottleneck_census", "optimal_ranges"]
 
 
+def _scalar(v):
+    """A decoded column entry as the Python scalar a dict row carries
+    (categorical columns decode to plain str, which has no ``item``)."""
+    return v.item() if hasattr(v, "item") else v
+
+
+def _unique_mask(
+    table: SweepTable, key: str, pred: Callable[[float], bool]
+) -> np.ndarray:
+    """Row mask for ``pred(row[key])``, evaluating the predicate once
+    per distinct column value."""
+    arr = table.column(key)
+    uniq, inverse = np.unique(arr, return_inverse=True)
+    verdicts = np.fromiter(
+        (bool(pred(_scalar(v))) for v in uniq), dtype=bool,
+        count=len(uniq),
+    )
+    return verdicts[inverse]
+
+
 def feature_slice(
-    rows: Sequence[dict],
+    rows,
     sweep_key: str,
     fixed: Dict[str, Callable[[float], bool]],
     value_key: str = "gflops",
@@ -30,12 +58,24 @@ def feature_slice(
     Example (Fig 9: neighbours sweep with good fixed features)::
 
         feature_slice(
-            table.rows, "req_neigh",
+            table, "req_neigh",
             fixed={"req_footprint_mb": lambda v: v < 256,
                    "req_avg_nnz": lambda v: v >= 50,
                    "req_skew": lambda v: v <= 100},
         )
     """
+    if isinstance(rows, SweepTable):
+        keep = np.ones(len(rows), dtype=bool)
+        for key, pred in fixed.items():
+            keep &= _unique_mask(rows, key, pred)
+        sweep_vals = rows.column(sweep_key)[keep]
+        values = rows.column(value_key)[keep]
+        out: Dict[float, BoxStats] = {}
+        for v in np.unique(sweep_vals):
+            sample = values[sweep_vals == v]
+            if len(sample):
+                out[_scalar(v)] = box_stats(sample)
+        return out
     filtered = [
         r for r in rows
         if all(pred(r[key]) for key, pred in fixed.items())
@@ -49,7 +89,7 @@ def feature_slice(
 
 
 def bottleneck_census(
-    rows: Sequence[dict], by: str = "device"
+    rows, by: str = "device"
 ) -> Dict[str, Dict[str, float]]:
     """Fraction of matrices dominated by each bottleneck, grouped by
     ``by`` (device, format, ...).
@@ -58,10 +98,27 @@ def bottleneck_census(
     overall, low ILP shows up for short rows, latency on GPUs, while
     imbalance is mostly absorbed by the formats.
     """
+    if isinstance(rows, SweepTable):
+        group, group_keys = rows.group_index(by)
+        b_codes = rows.codes("bottleneck")
+        b_cats = rows.categories("bottleneck")
+        joint = np.bincount(
+            group * len(b_cats) + b_codes,
+            minlength=len(group_keys) * len(b_cats),
+        ).reshape(len(group_keys), len(b_cats))
+        out: Dict[str, Dict[str, float]] = {}
+        for gi, key in enumerate(group_keys):
+            total = int(joint[gi].sum())
+            out[key] = {
+                b: 100.0 * int(c) / total
+                for b, c in sorted(zip(b_cats, joint[gi]))
+                if c
+            }
+        return out
     groups: Dict[str, Counter] = defaultdict(Counter)
     for r in rows:
         groups[r[by]][r["bottleneck"]] += 1
-    out: Dict[str, Dict[str, float]] = {}
+    out = {}
     for key, counts in groups.items():
         total = sum(counts.values())
         out[key] = {
@@ -71,7 +128,7 @@ def bottleneck_census(
 
 
 def optimal_ranges(
-    rows: Sequence[dict],
+    rows,
     feature_key: str,
     value_key: str = "gflops",
     top_fraction: float = 0.25,
@@ -82,6 +139,24 @@ def optimal_ranges(
     device": among the top ``top_fraction`` of rows by ``value_key``,
     report min/median/max of ``feature_key``.
     """
+    if isinstance(rows, SweepTable):
+        if len(rows) == 0:
+            return None
+        if not 0 < top_fraction <= 1:
+            raise ValueError("top_fraction must be in (0, 1]")
+        values = rows.column(value_key).astype(np.float64, copy=False)
+        cutoff = np.quantile(values, 1.0 - top_fraction)
+        arr = rows.column(feature_key)[values >= cutoff].astype(
+            np.float64, copy=False
+        )
+        if len(arr) == 0:
+            return None
+        return {
+            "min": float(arr.min()),
+            "median": float(np.median(arr)),
+            "max": float(arr.max()),
+            "n": len(arr),
+        }
     if not rows:
         return None
     if not 0 < top_fraction <= 1:

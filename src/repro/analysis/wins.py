@@ -1,19 +1,41 @@
-"""Format 'wins' accounting (the bars behind Fig 7's boxplots)."""
+"""Format 'wins' accounting (the bars behind Fig 7's boxplots).
+
+Every function accepts either a :class:`~repro.core.table.SweepTable`
+(vectorised column reductions — the production path) or legacy dict
+rows (the reference implementation the parity suite pins the columnar
+path against, field for field).
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.table import SweepTable
 
 __all__ = ["format_wins", "win_table", "confusion_table"]
 
 
-def format_wins(rows: Sequence[dict]) -> Dict[str, float]:
+def format_wins(rows) -> Dict[str, float]:
     """Percentage of matrices on which each format was the best.
 
     ``rows`` must carry one *best* measurement per matrix (the output of a
     ``best_only`` sweep for one device): keys ``format``.
     """
+    if isinstance(rows, SweepTable):
+        if len(rows) == 0:
+            return {}
+        codes = rows.codes("format")
+        cats = rows.categories("format")
+        counts = np.bincount(codes, minlength=len(cats))
+        total = len(rows)
+        return {
+            fmt: 100.0 * int(c) / total
+            for fmt, c in sorted(zip(cats, counts))
+            if c
+        }
     counts: Dict[str, int] = defaultdict(int)
     for r in rows:
         counts[r["format"]] += 1
@@ -24,12 +46,15 @@ def format_wins(rows: Sequence[dict]) -> Dict[str, float]:
 
 
 def win_table(
-    rows: Sequence[dict], devices: Sequence[str]
+    rows, devices: Sequence[str]
 ) -> Dict[str, Dict[str, float]]:
     """Per-device win percentages: ``{device: {format: pct}}``."""
     out: Dict[str, Dict[str, float]] = {}
     for dev in devices:
-        dev_rows = [r for r in rows if r["device"] == dev]
+        if isinstance(rows, SweepTable):
+            dev_rows = rows.where(device=dev)
+        else:
+            dev_rows = [r for r in rows if r["device"] == dev]
         out[dev] = format_wins(dev_rows)
     return out
 

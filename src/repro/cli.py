@@ -5,15 +5,18 @@ Six subcommands wrap the library's main workflows::
     repro generate   --rows 20000 --avg 25 --skew 50 --out m.mtx
     repro features   m.mtx
     repro simulate   m.mtx --device Tesla-A100 [--format CSR5] [--fp32]
-    repro sweep      --scale tiny --devices Tesla-A100,AMD-EPYC-64 --out r.csv
+    repro sweep      --scale tiny --devices Tesla-A100,AMD-EPYC-64 --out t.npz
     repro validate   --ids 1,11,39 --device AMD-EPYC-24
     repro experiment --scale tiny --protocol kfold --out result.json
+    repro experiment --table t.npz --protocol kfold --out result.json
 
-Every command prints human-readable tables; ``sweep`` persists the raw
-measurement rows as CSV and ``experiment`` persists its cross-validated
-selector results as deterministic JSON or CSV.  Bad arguments and
-unknown device/format/scale names exit with status 2 and an actionable
-message on stderr.
+Every command prints human-readable tables; ``sweep`` persists the
+measurement table (``--format npz|csv|json``, default inferred from the
+``--out`` extension) and ``experiment`` either re-sweeps or reuses a
+saved table (``--table``), persisting its cross-validated selector
+results as deterministic JSON or CSV.  Bad arguments, unknown
+device/format/scale names and table schema-version mismatches exit with
+status 2 and an actionable message on stderr.
 """
 
 from __future__ import annotations
@@ -80,7 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="score chunks through the vectorised grid "
                         "simulator (default; --no-batch keeps the scalar "
                         "reference loop — output is identical)")
-    w.add_argument("--out", required=True, help="output CSV path")
+    w.add_argument("--all-formats", action="store_true",
+                   help="one row per (matrix, device, format) instead "
+                        "of the best format per (matrix, device) — "
+                        "required for tables fed to `repro experiment "
+                        "--table`")
+    w.add_argument("--out", required=True,
+                   help="output table path (.npz lossless columnar, "
+                        ".csv typed text, .json dict rows)")
+    w.add_argument("--format", dest="table_format", default=None,
+                   choices=("npz", "csv", "json"),
+                   help="output format (default: inferred from the "
+                        "--out extension)")
 
     v = sub.add_parser("validate", help="mini Table-IV friends experiment")
     v.add_argument("--ids", default="1,11,39",
@@ -114,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--max-nnz", type=int, default=80_000)
     e.add_argument("--limit", type=int, default=None,
                    help="use only the first N dataset specs (smoke runs)")
+    e.add_argument("--table", default=None,
+                   help="run over a saved sweep table (.npz/.csv from "
+                        "`repro sweep --out`) instead of re-sweeping; "
+                        "must be a per-format sweep at the experiment's "
+                        "precision")
     e.add_argument("--fp32", action="store_true",
                    help="score the sweep at single precision")
     e.add_argument("--jobs", type=int, default=1,
@@ -206,8 +225,12 @@ def _cmd_sweep(args) -> int:
     from .core.dataset import Dataset, sweep
     from .core.feature_space import build_dataset_specs
     from .devices import TESTBEDS, get_device
-    from .io import write_rows
+    from .io import save_table
+    from .io.tableio import _resolve_format
+    from pathlib import Path
 
+    # Fail on an unknown extension before minutes of sweeping.
+    _resolve_format(Path(args.out), args.table_format)
     devices = (
         [get_device(d) for d in args.devices.split(",")]
         if args.devices
@@ -230,13 +253,13 @@ def _cmd_sweep(args) -> int:
     # Progress callbacks fire in the parent process under every engine, so
     # one carriage-return line works for serial and parallel runs alike.
     table = sweep(
-        dataset, devices, jobs=args.jobs, cache_dir=args.cache_dir,
-        batch=args.batch,
+        dataset, devices, best_only=not args.all_formats,
+        jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
         progress=lambda i, n: print(f"\r  {i}/{n}", end="", flush=True),
     )
     print()
-    write_rows(args.out, table.rows)
-    print(f"wrote {len(table)} measurement rows to {args.out}")
+    fmt = save_table(args.out, table, fmt=args.table_format)
+    print(f"wrote {len(table)} measurement rows to {args.out} ({fmt})")
     return 0
 
 
@@ -325,14 +348,27 @@ def _cmd_experiment(args) -> int:
         model=args.model,
     )
     names = ", ".join(spec.device_names)
-    print(
-        f"running {spec.protocol} experiment on {names} "
-        f"(scale={spec.scale}, model={spec.model}, seed={spec.seed}) ..."
-    )
+    table = None
+    if args.table:
+        from .io import load_table
+
+        table = load_table(args.table)
+        print(
+            f"loaded {len(table)} measurement rows from {args.table}; "
+            f"running {spec.protocol} experiment on {names} "
+            f"(model={spec.model}, seed={spec.seed}) ..."
+        )
+    else:
+        print(
+            f"running {spec.protocol} experiment on {names} "
+            f"(scale={spec.scale}, model={spec.model}, "
+            f"seed={spec.seed}) ..."
+        )
     result = run_experiment(
         spec, jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
         progress=lambda i, n: print(f"\r  sweep {i}/{n}", end="",
                                     flush=True),
+        table=table,
     )
     print()
     print(result.render())

@@ -12,7 +12,8 @@ from .feature_space import (
     FeatureSpace, TABLE_I_SPACE, DATASET_PRESETS,
     build_dataset_specs, dataset_scale_from_env,
 )
-from .dataset import Dataset, MeasurementTable, sweep
+from .table import SweepTable, SchemaVersionError, SCHEMA_VERSION
+from .dataset import Dataset, sweep
 from .validation import (
     ValidationMatrix, VALIDATION_SUITE, surrogate_spec, friend_specs,
     mape, ape_best,

@@ -3,20 +3,29 @@
 A :class:`Dataset` owns a list of specs and materialises
 :class:`~repro.perfmodel.instance.MatrixInstance` objects on demand
 (generation dominates runtime, so instances are cached).  The
-:func:`sweep` helper runs the simulator across devices/formats and returns
-a flat measurement table that the analysis layer consumes.
+:func:`sweep` helper runs the simulator across devices/formats and
+returns a columnar :class:`~repro.core.table.SweepTable` that the
+analysis, ml and experiment layers consume directly.
+
+:func:`spec_rows` (scalar, dict rows) and :func:`grid_spec_rows`
+(batched, dict rows) remain the reference paths the agreement suites
+compare against; :func:`grid_spec_table` is the production path — it
+assembles the table's columns straight from the grid simulator's
+structured array, without materialising a dict per row.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from ..devices.base import Device
 from .generator import MatrixSpec
+from .table import SweepTable
 
 __all__ = ["Dataset", "sweep", "spec_rows", "grid_spec_rows",
-           "MeasurementTable"]
+           "grid_spec_table", "SweepTable"]
 
 DEFAULT_MAX_NNZ = 100_000
 
@@ -67,31 +76,6 @@ class Dataset:
 
     def drop_cache(self) -> None:
         self._instances.clear()
-
-
-@dataclass
-class MeasurementTable:
-    """Flat result table of one sweep: parallel lists, one row per
-    (matrix, device) best measurement or per (matrix, device, format)."""
-
-    rows: List[dict]
-
-    def column(self, key: str) -> List:
-        return [r[key] for r in self.rows]
-
-    def where(self, **conditions) -> "MeasurementTable":
-        out = [
-            r
-            for r in self.rows
-            if all(r.get(k) == v for k, v in conditions.items())
-        ]
-        return MeasurementTable(out)
-
-    def filter(self, predicate: Callable[[dict], bool]) -> "MeasurementTable":
-        return MeasurementTable([r for r in self.rows if predicate(r)])
-
-    def __len__(self) -> int:
-        return len(self.rows)
 
 
 def _base_row(dataset: Dataset, i: int) -> dict:
@@ -225,6 +209,114 @@ def grid_spec_rows(
     return rows
 
 
+def _first_seen_codes(values: np.ndarray, labels: Sequence[str]):
+    """Categorical (codes, categories) with categories ordered by first
+    appearance in ``values`` — the same encoding ``SweepTable.from_rows``
+    produces from dict rows, so both engines emit identical tables."""
+    uniq, first, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq))
+    categories = [labels[int(uniq[pos])] for pos in order]
+    return rank[inverse], categories
+
+
+def grid_spec_table(
+    dataset: Dataset,
+    lo: int,
+    hi: int,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    precision: str = "fp64",
+) -> SweepTable:
+    """Columnar measurement table for specs ``lo..hi`` — the production
+    sweep path.
+
+    Row-for-row identical (via ``to_rows()``) to :func:`grid_spec_rows`
+    plus a constant ``precision`` column, but the columns are gathered
+    straight from the grid simulator's structured array and the
+    per-instance feature/spec scalars — no dict per row, ever.
+    """
+    from ..perfmodel.batch import STATUS_OK, simulate_grid
+    from ..perfmodel.simulator import BOTTLENECKS
+
+    indices = list(range(lo, hi))
+    instances = [dataset.instance(i) for i in indices]
+    grid = simulate_grid(instances, devices, formats=formats, seed=seed,
+                         precisions=(precision,))
+
+    if best_only:
+        flat = grid.best_per().ravel()
+        flat = flat[flat >= 0]
+    else:
+        flat = np.flatnonzero(grid.data["status"] == STATUS_OK)
+    if len(flat) == 0:
+        return SweepTable({})
+    rec = grid.data[flat]
+
+    n_inst = len(instances)
+    per_inst = {
+        "spec_index": np.empty(n_inst, dtype=np.int64),
+        "mem_footprint_mb": np.empty(n_inst),
+        "avg_nnz_per_row": np.empty(n_inst),
+        "skew_coeff": np.empty(n_inst),
+        "cross_row_similarity": np.empty(n_inst),
+        "avg_num_neighbours": np.empty(n_inst),
+        "nnz": np.empty(n_inst, dtype=np.int64),
+        "n_rows": np.empty(n_inst, dtype=np.int64),
+        "req_footprint_mb": np.empty(n_inst),
+        "req_avg_nnz": np.empty(n_inst),
+        "req_skew": np.empty(n_inst),
+        "req_sim": np.empty(n_inst),
+        "req_neigh": np.empty(n_inst),
+    }
+    for ci, i in enumerate(indices):
+        feats = instances[ci].features
+        spec = dataset.specs[i]
+        per_inst["spec_index"][ci] = i
+        per_inst["mem_footprint_mb"][ci] = feats.mem_footprint_mb
+        per_inst["avg_nnz_per_row"][ci] = feats.avg_nnz_per_row
+        per_inst["skew_coeff"][ci] = feats.skew_coeff
+        per_inst["cross_row_similarity"][ci] = feats.cross_row_similarity
+        per_inst["avg_num_neighbours"][ci] = feats.avg_num_neighbours
+        per_inst["nnz"][ci] = feats.nnz
+        per_inst["n_rows"][ci] = feats.n_rows
+        per_inst["req_footprint_mb"][ci] = spec.mem_footprint_mb
+        per_inst["req_avg_nnz"][ci] = spec.avg_nnz_per_row
+        per_inst["req_skew"][ci] = spec.skew_coeff
+        per_inst["req_sim"][ci] = spec.cross_row_sim
+        per_inst["req_neigh"][ci] = spec.avg_num_neigh
+
+    inst_idx = rec["instance"].astype(np.int64)
+    columns: Dict[str, np.ndarray] = {}
+    categories: Dict[str, List[str]] = {}
+    # Cell emission order is instance-major, so first-seen == sorted for
+    # the matrix column; device/format/bottleneck need the rank pass.
+    columns["matrix"], categories["matrix"] = _first_seen_codes(
+        inst_idx, grid.instance_names
+    )
+    for name, arr in per_inst.items():
+        columns[name] = arr[inst_idx]
+    columns["device"], categories["device"] = _first_seen_codes(
+        rec["device"].astype(np.int64), grid.device_names
+    )
+    columns["format"], categories["format"] = _first_seen_codes(
+        rec["format"].astype(np.int64), grid.format_names
+    )
+    columns["precision"] = np.zeros(len(rec), dtype=np.int64)
+    categories["precision"] = [precision]
+    for key in ("gflops", "watts", "gflops_per_watt"):
+        columns[key] = rec[key].astype(np.float64)
+    columns["bottleneck"], categories["bottleneck"] = _first_seen_codes(
+        rec["bottleneck"].astype(np.int64), BOTTLENECKS
+    )
+    return SweepTable(columns, categories)
+
+
 def sweep(
     dataset: Dataset,
     devices: Sequence[Device],
@@ -236,13 +328,15 @@ def sweep(
     cache_dir: Optional[str] = None,
     batch: bool = True,
     precision: str = "fp64",
-) -> MeasurementTable:
+) -> SweepTable:
     """Simulate the dataset on every device.
 
     With ``best_only`` (the paper's reporting convention) one row per
     (matrix, device) carries the best format; otherwise one row per
     (matrix, device, format).  Matrices that no format can host on a device
-    (FPGA capacity) are skipped, matching the paper's handling.
+    (FPGA capacity) are skipped, matching the paper's handling.  The
+    result is a columnar :class:`~repro.core.table.SweepTable`
+    (``.rows`` gives the historical dict-row projection).
 
     ``jobs`` selects the execution engine: 1 (the default) stays serial
     and in-process, ``jobs > 1`` shards over a process pool and 0

@@ -32,7 +32,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..core.dataset import Dataset, sweep
+from ..core.dataset import Dataset, SweepTable, sweep
 from ..core.feature_space import build_dataset_specs
 from ..devices import get_device
 from ..ml.selector import FormatSelector
@@ -48,22 +48,27 @@ _MEASUREMENT_ONLY = ("device", "format", "gflops", "watts",
                      "gflops_per_watt", "bottleneck")
 
 
-def _ordered_matrices(rows) -> List[str]:
-    """Distinct matrix names in first-appearance (spec) order."""
-    return list(dict.fromkeys(r["matrix"] for r in rows))
+def _as_table(table) -> SweepTable:
+    """Lift dict rows into a table (synthetic fixtures, legacy callers)."""
+    if isinstance(table, SweepTable):
+        return table
+    return SweepTable.from_rows(list(table))
 
 
-def _kfold_folds(spec: ExperimentSpec, rows, devices) -> List[FoldResult]:
+def _kfold_folds(
+    spec: ExperimentSpec, table: SweepTable, devices
+) -> List[FoldResult]:
+    table = _as_table(table)
     folds: List[FoldResult] = []
     for dev in devices:
-        dev_rows = [r for r in rows if r["device"] == dev.name]
-        if not dev_rows:
+        dev_table = table.where(device=dev.name)
+        if len(dev_table) == 0:
             folds.append(FoldResult(
                 device=dev.name, fold="fold0", n_train=0, n_test=0,
                 note=f"no measurable matrices on {dev.name}",
             ))
             continue
-        keys = _ordered_matrices(dev_rows)
+        keys = dev_table.unique("matrix")
         if len(keys) < spec.n_splits:
             # Capacity skips can leave a device with fewer measurable
             # matrices than folds.  The sweep has already run, so record
@@ -84,9 +89,8 @@ def _kfold_folds(spec: ExperimentSpec, rows, devices) -> List[FoldResult]:
         for fi, fold in enumerate(
             kfold_splits(keys, spec.n_splits, spec.seed)
         ):
-            train_set, test_set = set(fold.train), set(fold.test)
-            train = [r for r in dev_rows if r["matrix"] in train_set]
-            test = [r for r in dev_rows if r["matrix"] in test_set]
+            train = dev_table.where_in("matrix", fold.train)
+            test = dev_table.where_in("matrix", fold.test)
             selector = FormatSelector(
                 spec.candidate_formats(dev),
                 feature_keys=spec.feature_keys,
@@ -133,17 +137,25 @@ def _pooled_training_rows(rows, held_out: str, candidates) -> List[dict]:
     return pooled
 
 
-def _lodo_folds(spec: ExperimentSpec, rows, devices) -> List[FoldResult]:
+def _lodo_folds(
+    spec: ExperimentSpec, table: SweepTable, devices
+) -> List[FoldResult]:
+    table = _as_table(table)
+    # Pooling averages per (matrix, format) across source devices — a
+    # synthetic, device-less table, built through the dict shim (it is
+    # tiny: one row per matrix and candidate format).  The held-out
+    # evaluation slice stays a zero-copy-category table slice.
+    rows = table.rows
     folds: List[FoldResult] = []
     for fold in leave_one_device_out([d.name for d in devices]):
         held_out = fold.test[0]
         held_dev = get_device(held_out)
         candidates = spec.candidate_formats(held_dev)
         train = _pooled_training_rows(rows, held_out, set(candidates))
-        test = [r for r in rows if r["device"] == held_out]
+        test = table.where(device=held_out)
         n_train = len({r["matrix"] for r in train})
-        n_test = len({r["matrix"] for r in test})
-        if not train or not test:
+        n_test = len(test.unique("matrix"))
+        if not train or not len(test):
             if not train:
                 has_source = any(
                     r["device"] != held_out for r in rows
@@ -180,6 +192,7 @@ def run_experiment(
     cache_dir: Optional[str] = None,
     batch: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    table: Optional[SweepTable] = None,
 ) -> ExperimentResult:
     """Run one cross-validated selector experiment end-to-end.
 
@@ -187,35 +200,79 @@ def run_experiment(
     never change the result (row-identical engines, bit-identical
     batched selector scoring).  ``progress`` receives the sweep's
     (done, total) callbacks.
+
+    ``table`` skips the sweep entirely and runs the protocol over a
+    saved :class:`~repro.core.table.SweepTable` (``repro experiment
+    --table``): it must be a ``best_only=False`` sweep at the spec's
+    precision, and a table that matches what the spec would have swept
+    reproduces the swept result byte for byte.
     """
     spec.validate()
     devices = [get_device(name) for name in spec.device_names]
-    dataset_specs = build_dataset_specs(spec.scale)
-    if spec.limit is not None:
-        dataset_specs = dataset_specs[:spec.limit]
-    dataset = Dataset(
-        dataset_specs, max_nnz=spec.max_nnz, name=spec.scale
-    )
-    if spec.protocol == "kfold" and len(dataset) < spec.n_splits:
-        # len(dataset) upper-bounds the measurable matrices per device;
-        # reject a statically doomed fold count before the sweep runs.
+    if table is not None:
+        _check_saved_table(spec, table)
+        n_instances = len(table.unique("matrix"))
+    else:
+        dataset_specs = build_dataset_specs(spec.scale)
+        if spec.limit is not None:
+            dataset_specs = dataset_specs[:spec.limit]
+        dataset = Dataset(
+            dataset_specs, max_nnz=spec.max_nnz, name=spec.scale
+        )
+        n_instances = len(dataset)
+    if spec.protocol == "kfold" and n_instances < spec.n_splits:
+        # The instance count upper-bounds the measurable matrices per
+        # device; reject a statically doomed fold count before the
+        # sweep runs (or before the saved table is sliced).
         raise ValueError(
-            f"dataset has {len(dataset)} instances for "
+            f"dataset has {n_instances} instances for "
             f"n_splits={spec.n_splits}; lower --folds or raise "
             "--limit/--scale"
         )
-    table = sweep(
-        dataset, devices, best_only=False,
-        formats=list(spec.formats) if spec.formats else None,
-        seed=spec.seed, jobs=jobs, cache_dir=cache_dir, batch=batch,
-        precision=spec.precision, progress=progress,
-    )
-    rows = table.rows
+    if table is None:
+        table = sweep(
+            dataset, devices, best_only=False,
+            formats=list(spec.formats) if spec.formats else None,
+            seed=spec.seed, jobs=jobs, cache_dir=cache_dir, batch=batch,
+            precision=spec.precision, progress=progress,
+        )
     if spec.protocol == "kfold":
-        folds = _kfold_folds(spec, rows, devices)
+        folds = _kfold_folds(spec, table, devices)
     else:
-        folds = _lodo_folds(spec, rows, devices)
+        folds = _lodo_folds(spec, table, devices)
     return ExperimentResult(
-        spec=spec, folds=folds, n_instances=len(dataset),
-        n_rows=len(rows),
+        spec=spec, folds=folds, n_instances=n_instances,
+        n_rows=len(table),
     )
+
+
+def _check_saved_table(spec: ExperimentSpec, table: SweepTable) -> None:
+    """Fail fast, actionably, when a saved table cannot back the spec."""
+    for column in ("matrix", "device", "format", "gflops"):
+        if column not in table.names:
+            raise ValueError(
+                f"saved table has no {column!r} column (columns: "
+                f"{table.names}); pass a measurement table written by "
+                "`repro sweep --out table.npz`"
+            )
+    if "precision" in table.names:
+        precisions = table.unique("precision")
+        if precisions and precisions != [spec.precision]:
+            raise ValueError(
+                f"saved table was swept at precision "
+                f"{', '.join(precisions)} but the experiment asks for "
+                f"{spec.precision}; re-sweep at {spec.precision} or "
+                "drop the mismatched flag"
+            )
+    if len(table) and len(table.categories("format")) > 1:
+        g, _ = table.group_index("matrix")
+        d, _ = table.group_index("device")
+        n_dev = int(d.max()) + 1
+        per_pair = np.bincount(g * n_dev + d)
+        if per_pair[per_pair > 0].max() == 1:
+            raise ValueError(
+                "saved table looks like a best-only sweep (one row per "
+                "matrix and device, several formats overall); the "
+                "experiment protocols train on per-format rows — "
+                "re-run `repro sweep --all-formats --out ...`"
+            )

@@ -1,3 +1,4 @@
-"""I/O: MatrixMarket matrices and CSV measurement tables."""
+"""I/O: MatrixMarket matrices, CSV measurement tables, table persistence."""
 from .mtx import read_mtx, write_mtx
-from .csvio import write_rows, read_rows
+from .csvio import write_rows, read_rows, write_table, read_table
+from .tableio import save_table, load_table, TABLE_FORMATS

@@ -1,0 +1,91 @@
+"""Format-dispatching persistence for :class:`~repro.core.table.SweepTable`.
+
+One save/load pair covers the three on-disk forms the CLI exposes:
+
+``npz``
+    Lossless column arrays + category lists + schema version
+    (:meth:`SweepTable.to_npz`) — the canonical interchange format;
+    ``repro experiment --table`` consumes it.
+``csv``
+    Typed text round trip (:func:`repro.io.csvio.write_table`) —
+    value-identical for the schema columns, human-greppable.
+``json``
+    The dict-row projection as deterministic JSON (sorted keys) — for
+    downstream tools that speak neither NumPy nor CSV.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.table import SweepTable
+from .csvio import read_table as _read_csv
+from .csvio import write_table as _write_csv
+
+__all__ = ["save_table", "load_table", "TABLE_FORMATS"]
+
+TABLE_FORMATS = ("npz", "csv", "json")
+
+
+def _resolve_format(path: Path, fmt: Optional[str]) -> str:
+    if fmt is not None:
+        if fmt not in TABLE_FORMATS:
+            raise ValueError(
+                f"unknown table format {fmt!r}; "
+                f"use one of {', '.join(TABLE_FORMATS)}"
+            )
+        return fmt
+    suffix = path.suffix.lstrip(".").lower()
+    if suffix in TABLE_FORMATS:
+        return suffix
+    raise ValueError(
+        f"cannot infer a table format from {path.name!r}; use a "
+        f".npz/.csv/.json extension or pass --format "
+        f"{('|'.join(TABLE_FORMATS))}"
+    )
+
+
+def save_table(
+    path: Union[str, Path], table: SweepTable, fmt: Optional[str] = None
+) -> str:
+    """Persist a table; format from ``fmt`` or the file extension.
+
+    Returns the resolved format name (the CLI reports it).
+    """
+    path = Path(path)
+    fmt = _resolve_format(path, fmt)
+    if fmt == "npz":
+        table.to_npz(path)
+    elif fmt == "csv":
+        _write_csv(path, table)
+    else:
+        path.write_text(
+            json.dumps(table.to_rows(), sort_keys=True, indent=2) + "\n"
+        )
+    return fmt
+
+
+def load_table(
+    path: Union[str, Path], fmt: Optional[str] = None
+) -> SweepTable:
+    """Load a table saved by :func:`save_table`.
+
+    NPZ is exact; CSV is value-identical through the schema types; JSON
+    rebuilds through :meth:`SweepTable.from_rows`.  Schema-version
+    mismatches raise :class:`~repro.core.table.SchemaVersionError` with
+    the regeneration hint (the CLI surfaces it on exit code 2).
+    """
+    path = Path(path)
+    fmt = _resolve_format(path, fmt)
+    if not path.exists():
+        raise ValueError(
+            f"table file {path} does not exist; write one first with "
+            "`repro sweep --out <path>`"
+        )
+    if fmt == "npz":
+        return SweepTable.from_npz(path)
+    if fmt == "csv":
+        return _read_csv(path)
+    return SweepTable.from_rows(json.loads(path.read_text()))

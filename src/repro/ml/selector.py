@@ -9,10 +9,11 @@ GFLOPS) pairs from a sweep; selection is the argmax of predicted GFLOPS.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.table import SweepTable
 from .forest import RandomForestRegressor
 
 __all__ = ["FormatSelector", "SelectionReport"]
@@ -51,15 +52,26 @@ def _instance_key(row: dict):
     )
 
 
-def _as_rows(rows):
-    """Accept either dict rows or a ``GridResult`` (duck-typed), and
-    refuse row sets that mix devices or precisions.
+def _mixed_coordinate_error(coord: str, seen) -> ValueError:
+    return ValueError(
+        f"measurement rows span multiple {coord}s "
+        f"({sorted(seen)}); fit one selector per {coord} "
+        "(filter the rows or simulate one grid slice at a time)"
+    )
 
-    The selector's feature vector carries no device/precision coordinate,
-    so rows from several devices (or fp64+fp32) would assign conflicting
-    targets to one feature vector — and per-format dicts would silently
-    keep whichever device's row came last.  Train one selector per
-    (device, precision) slice instead.
+
+def _as_rows(rows):
+    """Accept dict rows or a ``GridResult`` (duck-typed on
+    ``to_rows(with_features=...)``), and refuse row sets that mix
+    devices or precisions.
+
+    ``SweepTable`` never reaches this path — fit/evaluate consume its
+    columns directly; this shim materialises the *other* row sources
+    exactly once.  The selector's feature vector carries no
+    device/precision coordinate, so rows from several devices (or
+    fp64+fp32) would assign conflicting targets to one feature vector —
+    and per-format dicts would silently keep whichever device's row came
+    last.  Train one selector per (device, precision) slice instead.
     """
     if hasattr(rows, "to_rows"):
         rows = rows.to_rows(with_features=True)
@@ -68,12 +80,30 @@ def _as_rows(rows):
     for coord in ("device", "precision"):
         seen = {r[coord] for r in rows if coord in r}
         if len(seen) > 1:
-            raise ValueError(
-                f"measurement rows span multiple {coord}s "
-                f"({sorted(seen)}); fit one selector per {coord} "
-                "(filter the rows or simulate one grid slice at a time)"
-            )
+            raise _mixed_coordinate_error(coord, seen)
     return rows
+
+
+def _check_table_coordinates(table: SweepTable) -> None:
+    """The multi-device/precision guard, as a vectorised uniqueness
+    check on the categorical codes (no row materialisation)."""
+    for coord in ("device", "precision"):
+        if coord in table.names:
+            seen = table.unique(coord)
+            if len(seen) > 1:
+                raise _mixed_coordinate_error(coord, seen)
+
+
+def _table_key_column(table: SweepTable) -> str:
+    """The grouping column of a table (mirrors :func:`_instance_key`)."""
+    for name in ("matrix", "spec_index", "instance"):
+        if name in table.names:
+            return name
+    raise ValueError(
+        "measurement row carries no 'matrix' name, 'spec_index' or "
+        "'instance' key to group per-format rows by; add one of them "
+        "(anonymous rows cannot be grouped unambiguously)"
+    )
 
 
 class SelectionReport(dict):
@@ -138,16 +168,45 @@ class FormatSelector:
         ).reshape(len(features_seq), len(self.feature_keys))
         return np.log1p(raw)
 
+    def _table_groups(
+        self, table: SweepTable
+    ) -> Tuple[np.ndarray, List, np.ndarray]:
+        """``(group_id per row, group keys, feature matrix X)`` for a
+        columnar table.
+
+        Groups are per-matrix in first-appearance order and ``X`` row
+        ``i`` is bit-identical to ``_vector`` of group ``i``'s features
+        (``np.log1p``/``np.abs`` are applied elementwise either way);
+        the dict path's last-row-per-group feature choice is preserved
+        via an unbuffered per-group max of row positions.
+        """
+        _check_table_coordinates(table)
+        g, keys = table.group_index(_table_key_column(table))
+        last = np.full(len(keys), -1, dtype=np.int64)
+        np.maximum.at(last, g, np.arange(len(table)))
+        raw = np.stack(
+            [
+                np.abs(table.column(k)[last].astype(np.float64))
+                for k in self.feature_keys
+            ],
+            axis=1,
+        )
+        return g, keys, np.log1p(raw)
+
     def fit(self, rows) -> "FormatSelector":
-        """Train from sweep rows — dicts with the feature keys plus
-        ``format`` and ``gflops`` — or directly from a
+        """Train from a :class:`~repro.core.table.SweepTable` (the
+        columnar fast path), from sweep dict rows with the feature keys
+        plus ``format`` and ``gflops``, or directly from a
         :class:`~repro.perfmodel.batch.GridResult`.
 
         Rows are grouped per matrix by an explicit instance key (name,
         ``spec_index`` or grid ``instance`` index); anonymous rows raise.
         A format that refused a matrix simply has no row for it; the model
         treats missing observations as zero performance for that matrix.
+        All input forms train bit-identical models.
         """
+        if isinstance(rows, SweepTable):
+            return self._fit_table(rows)
         by_matrix: Dict[tuple, dict] = {}
         perf: Dict[tuple, Dict[str, float]] = {}
         for r in _as_rows(rows):
@@ -160,6 +219,23 @@ class FormatSelector:
         X = self._matrix([by_matrix[k] for k in keys])
         for fmt in self.formats:
             y = np.array([perf[k].get(fmt, 0.0) for k in keys])
+            self._models[fmt] = self._factory().fit(X, y)
+        return self
+
+    def _fit_table(self, table: SweepTable) -> "FormatSelector":
+        if len(table) == 0:
+            raise ValueError("no training rows")
+        g, _, X = self._table_groups(table)
+        fmt_codes = table.codes("format")
+        fmt_cats = table.categories("format")
+        gflops = table.column("gflops")
+        for fmt in self.formats:
+            y = np.zeros(len(X))
+            if fmt in fmt_cats:
+                sel = fmt_codes == fmt_cats.index(fmt)
+                # Duplicate (matrix, format) rows keep the last value,
+                # exactly as the dict path's per-format dict does.
+                y[g[sel]] = gflops[sel]
             self._models[fmt] = self._factory().fit(X, y)
         return self
 
@@ -217,16 +293,20 @@ class FormatSelector:
     def evaluate(
         self, rows, batch: bool = True, detail: bool = False
     ) -> SelectionReport:
-        """Top-1 accuracy and oracle-relative performance on held-out rows
-        (same schema as :meth:`fit`, or a ``GridResult``).
+        """Top-1 accuracy and oracle-relative performance on held-out
+        rows (a :class:`~repro.core.table.SweepTable`, dict rows with
+        the :meth:`fit` schema, or a ``GridResult``).
 
         ``batch`` (the default) scores all held-out instances with one
         ``model.predict`` per format; ``batch=False`` keeps the
-        per-instance scalar loop as the reference oracle.  Both produce
-        bit-identical reports.  ``detail`` adds a ``choices`` list with
-        the per-instance (oracle, chosen, retained) triples that the
-        experiment reports aggregate into win/confusion tables.
+        per-instance scalar loop as the reference oracle.  All input
+        forms and both scoring paths produce bit-identical reports.
+        ``detail`` adds a ``choices`` list with the per-instance
+        (oracle, chosen, retained) triples that the experiment reports
+        aggregate into win/confusion tables.
         """
+        if isinstance(rows, SweepTable):
+            return self._evaluate_table(rows, batch=batch, detail=detail)
         perf: Dict[tuple, Dict[str, float]] = {}
         feats: Dict[tuple, dict] = {}
         for r in _as_rows(rows):
@@ -259,6 +339,73 @@ class FormatSelector:
             mean_retained=float(np.mean(retained)),
             worst_retained=float(np.min(retained)),
             n_matrices=len(perf),
+        )
+        if detail:
+            report["choices"] = choices
+        return report
+
+    def _evaluate_table(
+        self, table: SweepTable, batch: bool, detail: bool
+    ) -> SelectionReport:
+        """Columnar :meth:`evaluate`: the per-group perf dicts become a
+        dense (group, format) matrix, built with two fancy-index
+        assignments instead of a dict per matrix."""
+        if len(table) == 0:
+            raise ValueError("no evaluation rows")
+        if not self._models:
+            raise RuntimeError("selector not fitted")
+        g, keys, X = self._table_groups(table)
+        n_groups = len(keys)
+        if batch:
+            preds = {
+                fmt: np.asarray(model.predict(X), dtype=np.float64)
+                for fmt, model in self._models.items()
+            }
+            names = list(preds)
+            stacked = np.stack([preds[f] for f in names])
+            chosen_names = [
+                names[i] for i in np.argmax(stacked, axis=0)
+            ]
+        else:
+            chosen_names = []
+            for i in range(n_groups):
+                scores = {
+                    fmt: float(model.predict(X[i:i + 1])[0])
+                    for fmt, model in self._models.items()
+                }
+                chosen_names.append(max(scores, key=scores.get))
+
+        fmt_codes = table.codes("format")
+        fmt_cats = table.categories("format")
+        gflops = table.column("gflops")
+        perf = np.full((n_groups, len(fmt_cats)), -np.inf)
+        seen = np.zeros((n_groups, len(fmt_cats)), dtype=bool)
+        perf[g, fmt_codes] = gflops  # duplicates: last value, as dicts
+        seen[g, fmt_codes] = True
+        oracle_idx = np.argmax(perf, axis=1)
+        code_of = {fmt: c for c, fmt in enumerate(fmt_cats)}
+
+        hits, retained, choices = 0, np.empty(n_groups), []
+        for i in range(n_groups):
+            oracle = fmt_cats[int(oracle_idx[i])]
+            chosen = chosen_names[i]
+            cc = code_of.get(chosen, -1)
+            num = perf[i, cc] if cc >= 0 and seen[i, cc] else 0.0
+            kept = num / perf[i, oracle_idx[i]]
+            hits += chosen == oracle
+            retained[i] = kept
+            if detail:
+                choices.append({
+                    "instance": keys[i],
+                    "oracle": oracle,
+                    "chosen": chosen,
+                    "retained": float(kept),
+                })
+        report = SelectionReport(
+            top1_accuracy=hits / n_groups,
+            mean_retained=float(np.mean(retained)),
+            worst_retained=float(np.min(retained)),
+            n_matrices=n_groups,
         )
         if detail:
             report["choices"] = choices

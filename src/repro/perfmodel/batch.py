@@ -226,7 +226,7 @@ class GridResult:
             yield int(idx)
 
     def row(self, idx: int, with_features: bool = True) -> dict:
-        """The dict row of one scored cell (see ``docs/grid_schema.md``).
+        """The dict row of one scored cell (see ``docs/table_schema.md``).
 
         Raises :class:`ValueError` for skipped cells — they have no
         measurements (and their ``-1`` bottleneck sentinel must never be

@@ -3,10 +3,13 @@
 :func:`run_sweep` is the dataset-scale execution engine behind
 :func:`repro.core.dataset.sweep`: it partitions spec indices into
 contiguous chunks, fans the chunks out over a ``multiprocessing`` pool
-(``jobs=1`` stays fully in-process) and merges the per-chunk row lists
-back in index order.  Because every path funnels through
-:func:`repro.core.dataset.spec_rows`, the merged table is row-for-row
-identical to a serial sweep regardless of ``jobs`` or cache state.
+(``jobs=1`` stays fully in-process) and merges the per-chunk results
+back in index order.  Chunks are columnar
+:class:`~repro.core.table.SweepTable` slices — workers ship typed
+column arrays, not dict lists — and the merge is
+:meth:`SweepTable.concat`, which preserves first-seen category order
+across chunk boundaries, so the merged table is row-for-row identical
+to a serial sweep regardless of ``jobs`` or cache state.
 
 Workers share one :class:`~repro.pipeline.cache.InstanceCache` directory;
 entries are content-keyed and written atomically, so the only cost of a
@@ -19,7 +22,9 @@ import multiprocessing
 import os
 from typing import Callable, List, Optional, Sequence
 
-from ..core.dataset import Dataset, MeasurementTable, grid_spec_rows, spec_rows
+from ..core.dataset import (
+    Dataset, SweepTable, grid_spec_table, spec_rows,
+)
 from ..devices.base import Device
 from .cache import InstanceCache
 
@@ -65,16 +70,18 @@ def _sweep_range(
     cache: Optional[InstanceCache],
     batch: bool = True,
     precision: str = "fp64",
-) -> List[dict]:
-    """Rows for specs ``lo..hi`` with cache write-back per spec.
+) -> SweepTable:
+    """Columnar chunk table for specs ``lo..hi`` with cache write-back.
 
     With ``batch`` (the default) the chunk is scored in one vectorised
-    :func:`~repro.perfmodel.batch.simulate_grid` pass; the scalar loop
-    stays available as the reference engine (``batch=False``).  Both
-    produce identical rows — the grid agreement suite enforces it.
+    :func:`~repro.perfmodel.batch.simulate_grid` pass and the columns
+    are gathered straight from the grid arrays; the scalar loop stays
+    available as the reference engine (``batch=False``), its dict rows
+    lifted into the same table schema.  Both produce identical tables —
+    the grid agreement suite enforces it.
     """
     if batch:
-        rows = grid_spec_rows(
+        table = grid_spec_table(
             dataset, lo, hi, devices,
             best_only=best_only, formats=formats, seed=seed,
             precision=precision,
@@ -86,7 +93,7 @@ def _sweep_range(
             for i in range(lo, hi):
                 cache.store(dataset.specs[i], dataset.max_nnz,
                             dataset.instance(i))
-        return rows
+        return table
     rows: List[dict] = []
     for i in range(lo, hi):
         rows.extend(
@@ -99,7 +106,9 @@ def _sweep_range(
         if cache is not None:
             cache.store(dataset.specs[i], dataset.max_nnz,
                         dataset.instance(i))
-    return rows
+    if not rows:
+        return SweepTable({})
+    return SweepTable.from_rows(rows).with_constant("precision", precision)
 
 
 # -- worker-side state (initialised once per pool process) ------------------
@@ -121,11 +130,11 @@ def _run_chunk(task):
     chunk_id, (lo, hi) = task
     devices, best_only, formats, seed, cache, batch, precision = \
         _WORKER["args"]
-    rows = _sweep_range(
+    table = _sweep_range(
         _WORKER["dataset"], lo, hi, devices, best_only, formats, seed,
         cache, batch, precision,
     )
-    return chunk_id, rows, hi - lo
+    return chunk_id, table, hi - lo
 
 
 def run_sweep(
@@ -140,7 +149,7 @@ def run_sweep(
     progress: Optional[Callable[[int, int], None]] = None,
     batch: bool = True,
     precision: str = "fp64",
-) -> MeasurementTable:
+) -> SweepTable:
     """Sharded, cached sweep (see module docstring).
 
     ``cache`` takes precedence over ``cache_dir``; with ``jobs != 1`` the
@@ -165,11 +174,11 @@ def run_sweep(
                 dataset.specs, max_nnz=dataset.max_nnz,
                 name=dataset.name, cache=cache,
             )
-        rows: List[dict] = []
+        chunks: List[SweepTable] = []
         step = _SERIAL_CHUNK if batch else 1
         for lo in range(0, n, step):
             hi = min(lo + step, n)
-            rows.extend(
+            chunks.append(
                 _sweep_range(
                     dataset, lo, hi, devices, best_only, formats, seed,
                     cache, batch, precision,
@@ -180,7 +189,7 @@ def run_sweep(
                 # once the chunk they belong to is scored.
                 for i in range(lo, hi):
                     progress(i + 1, n)
-        return MeasurementTable(rows)
+        return SweepTable.concat(chunks)
 
     if cache is not None and cache_dir is None:
         cache_dir = str(cache.root)
@@ -200,14 +209,13 @@ def run_sweep(
     with ctx.Pool(
         processes=jobs, initializer=_init_worker, initargs=init_args
     ) as pool:
-        for chunk_id, rows, count in pool.imap_unordered(
+        for chunk_id, chunk, count in pool.imap_unordered(
             _run_chunk, list(enumerate(bounds))
         ):
-            results[chunk_id] = rows
+            results[chunk_id] = chunk
             done += count
             if progress is not None:
                 progress(done, n)
-    merged: List[dict] = []
-    for chunk_id in sorted(results):
-        merged.extend(results[chunk_id])
-    return MeasurementTable(merged)
+    return SweepTable.concat(
+        [results[chunk_id] for chunk_id in sorted(results)]
+    )

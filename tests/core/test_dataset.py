@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.dataset import Dataset, MeasurementTable, sweep
+from repro.core.dataset import Dataset, SweepTable, sweep
 from repro.core.generator import MatrixSpec
 from repro.devices import TESTBEDS
 
@@ -75,17 +75,26 @@ class TestSweep:
             assert key in r
 
 
-class TestMeasurementTable:
+class TestSweepTableShim:
+    """The table's dict-row compatibility surface, as sweeps use it."""
+
     def test_where_and_column(self):
-        t = MeasurementTable(
+        t = SweepTable.from_rows(
             [{"device": "a", "gflops": 1.0},
              {"device": "b", "gflops": 2.0},
              {"device": "a", "gflops": 3.0}]
         )
         a = t.where(device="a")
         assert len(a) == 2
-        assert a.column("gflops") == [1.0, 3.0]
+        assert list(a.column("gflops")) == [1.0, 3.0]
 
     def test_filter(self):
-        t = MeasurementTable([{"v": i} for i in range(10)])
+        t = SweepTable.from_rows([{"v": i} for i in range(10)])
         assert len(t.filter(lambda r: r["v"] % 2 == 0)) == 5
+
+    def test_sweep_returns_table(self, small_dataset):
+        table = sweep(small_dataset, [TESTBEDS["INTEL-XEON"]])
+        assert isinstance(table, SweepTable)
+        assert table.rows == table.to_rows()
+        assert table.unique("device") == ["INTEL-XEON"]
+        assert table.unique("precision") == ["fp64"]

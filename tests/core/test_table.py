@@ -1,0 +1,237 @@
+"""SweepTable: construction, slicing, grouping, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.table import (
+    SCHEMA_VERSION, SchemaVersionError, SweepTable,
+)
+
+ROWS = [
+    {"matrix": "m0", "device": "cpu", "format": "CSR",
+     "gflops": 10.0, "nnz": 100, "skew_coeff": 0.5},
+    {"matrix": "m0", "device": "cpu", "format": "ELL",
+     "gflops": 12.0, "nnz": 100, "skew_coeff": 0.5},
+    {"matrix": "m1", "device": "gpu", "format": "CSR",
+     "gflops": 40.0, "nnz": 900, "skew_coeff": 3.0},
+    {"matrix": "m1", "device": "cpu", "format": "CSR",
+     "gflops": 11.0, "nnz": 900, "skew_coeff": 3.0},
+]
+
+
+@pytest.fixture()
+def table():
+    return SweepTable.from_rows(ROWS)
+
+
+class TestConstruction:
+    def test_roundtrip_rows(self, table):
+        assert table.to_rows() == ROWS
+        assert table.rows == ROWS  # cached property
+
+    def test_len_and_names(self, table):
+        assert len(table) == 4
+        # Known columns in canonical order.
+        assert table.names == [
+            "matrix", "skew_coeff", "nnz", "device", "format", "gflops",
+        ]
+
+    def test_known_dtypes(self, table):
+        assert table.column("nnz").dtype == np.int64
+        assert table.column("gflops").dtype == np.float64
+        assert table.codes("matrix").dtype == np.int32
+
+    def test_categorical_encoding_first_seen(self, table):
+        assert table.categories("matrix") == ["m0", "m1"]
+        assert table.categories("device") == ["cpu", "gpu"]
+        assert list(table.codes("device")) == [0, 0, 1, 0]
+
+    def test_decoded_column(self, table):
+        assert list(table.column("device")) == ["cpu", "cpu", "gpu", "cpu"]
+
+    def test_empty(self):
+        t = SweepTable.from_rows([])
+        assert len(t) == 0
+        assert t.to_rows() == []
+
+    def test_heterogeneous_rows_rejected(self):
+        with pytest.raises(ValueError, match="heterogeneous"):
+            SweepTable.from_rows([{"a": 1}, {"b": 2}])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            SweepTable({"a": np.zeros(2), "b": np.zeros(3)})
+
+    def test_bad_codes_rejected(self):
+        with pytest.raises(ValueError, match="categories"):
+            SweepTable(
+                {"device": np.array([0, 5], dtype=np.int32)},
+                {"device": ["cpu"]},
+            )
+
+    def test_unknown_column_kept_after_known(self):
+        t = SweepTable.from_rows([{"gflops": 1.0, "zzz_custom": 2}])
+        assert t.names == ["gflops", "zzz_custom"]
+        assert t.column("zzz_custom").dtype == np.int64
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError, match="available"):
+            table.column("nope")
+
+
+class TestSlicing:
+    def test_where(self, table):
+        cpu = table.where(device="cpu")
+        assert len(cpu) == 3
+        assert cpu.to_rows() == [r for r in ROWS if r["device"] == "cpu"]
+
+    def test_where_numeric_and_compound(self, table):
+        assert len(table.where(nnz=900, device="cpu")) == 1
+
+    def test_where_absent_value_is_empty(self, table):
+        assert len(table.where(device="tpu")) == 0
+
+    def test_mask_matches_where(self, table):
+        mask = table.mask(format="CSR")
+        assert mask.dtype == bool
+        assert table.select(mask).to_rows() == \
+            table.where(format="CSR").to_rows()
+
+    def test_where_in(self, table):
+        t = table.where_in("matrix", ["m1"])
+        assert t.to_rows() == [r for r in ROWS if r["matrix"] == "m1"]
+
+    def test_filter_predicate(self, table):
+        t = table.filter(lambda r: r["gflops"] > 11.0)
+        assert [r["gflops"] for r in t.rows] == [12.0, 40.0]
+
+    def test_slice_shares_categories(self, table):
+        gpu = table.where(device="gpu")
+        # Category table is shared zero-copy, not re-collected.
+        assert gpu.categories("device") == table.categories("device")
+
+
+class TestGrouping:
+    def test_groupby_first_appearance_order(self, table):
+        groups = list(table.groupby("device"))
+        assert [k for k, _ in groups] == ["cpu", "gpu"]
+        assert [len(t) for _, t in groups] == [3, 1]
+
+    def test_groupby_preserves_row_order(self, table):
+        (_, cpu), _ = table.groupby("device")
+        assert cpu.to_rows() == [r for r in ROWS if r["device"] == "cpu"]
+
+    def test_group_index(self, table):
+        g, keys = table.group_index("matrix")
+        assert keys == ["m0", "m1"]
+        assert list(g) == [0, 0, 1, 1]
+
+    def test_unique(self, table):
+        assert table.unique("format") == ["CSR", "ELL"]
+        assert table.unique("nnz") == [100, 900]
+
+
+class TestConcat:
+    def test_concat_equals_single_build(self):
+        whole = SweepTable.from_rows(ROWS)
+        parts = [SweepTable.from_rows(ROWS[:1]),
+                 SweepTable.from_rows(ROWS[1:3]),
+                 SweepTable.from_rows(ROWS[3:])]
+        merged = SweepTable.concat(parts)
+        assert merged == whole
+        assert merged.categories("device") == whole.categories("device")
+
+    def test_concat_drops_column_less_chunks(self):
+        merged = SweepTable.concat(
+            [SweepTable.from_rows([]), SweepTable.from_rows(ROWS)]
+        )
+        assert merged.to_rows() == ROWS
+
+    def test_concat_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="different columns"):
+            SweepTable.concat([
+                SweepTable.from_rows([{"a": 1.0}]),
+                SweepTable.from_rows([{"b": 1.0}]),
+            ])
+
+
+class TestConstants:
+    def test_with_constant_categorical(self, table):
+        t = table.with_constant("precision", "fp64")
+        assert t.unique("precision") == ["fp64"]
+        # Canonical position: precision sits before gflops.
+        assert t.names.index("precision") < t.names.index("gflops")
+
+    def test_with_constant_duplicate_rejected(self, table):
+        with pytest.raises(ValueError, match="already present"):
+            table.with_constant("device", "cpu")
+
+
+class TestEquality:
+    def test_value_equality_ignores_code_assignment(self):
+        a = SweepTable.from_rows(ROWS)
+        b = SweepTable(
+            {name: a.column(name) if not a.is_categorical(name)
+             else np.array([{"m0": 1, "m1": 0}[v] for v in
+                            a.column(name)], dtype=np.int32)
+             if name == "matrix" else a.codes(name)
+             for name in a.names},
+            {"matrix": ["m1", "m0"],
+             **{n: a.categories(n) for n in ("device", "format")}},
+        )
+        assert a == b  # decoded values match despite swapped codes
+
+    def test_inequality_on_values(self, table):
+        other = SweepTable.from_rows(
+            [{**r, "gflops": r["gflops"] + 1} for r in ROWS]
+        )
+        assert table != other
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, table, tmp_path):
+        path = tmp_path / "t.npz"
+        table.to_npz(path)
+        back = SweepTable.from_npz(path)
+        assert back == table
+        assert back.to_rows() == table.to_rows()
+        for name in table.names:
+            assert back.is_categorical(name) == table.is_categorical(name)
+            if not table.is_categorical(name):
+                assert back.column(name).dtype == table.column(name).dtype
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "e.npz"
+        SweepTable({}).to_npz(path)
+        assert len(SweepTable.from_npz(path)) == 0
+
+    def test_version_mismatch_actionable(self, table, tmp_path,
+                                         monkeypatch):
+        path = tmp_path / "t.npz"
+        table.to_npz(path)
+        import repro.core.table as tbl
+        monkeypatch.setattr(tbl, "SCHEMA_VERSION", SCHEMA_VERSION + 1)
+        with pytest.raises(SchemaVersionError, match="regenerate"):
+            SweepTable.from_npz(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(SchemaVersionError, match="schema"):
+            SweepTable.from_npz(path)
+
+    def test_truncated_npz_actionable(self, table, tmp_path):
+        """Regression: a truncated file must raise the actionable
+        SchemaVersionError, not a raw zipfile/pickle traceback."""
+        path = tmp_path / "t.npz"
+        table.to_npz(path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(SchemaVersionError, match="regenerate"):
+            SweepTable.from_npz(path)
+
+    def test_non_zip_garbage_actionable(self, tmp_path):
+        path = tmp_path / "g.npz"
+        path.write_bytes(b"these are not the bytes you are looking for")
+        with pytest.raises(SchemaVersionError, match="corrupt"):
+            SweepTable.from_npz(path)

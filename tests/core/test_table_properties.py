@@ -1,0 +1,92 @@
+"""Hypothesis properties of SweepTable slicing and grouping.
+
+The invariants the analysis and experiment layers lean on:
+``where``-partitioning a column's values yields pairwise-disjoint masks
+that cover the table, and ``groupby`` is order-stable — groups appear in
+first-appearance order, rows keep their relative order, and
+concatenating the groups is a stable partition of the original rows.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.table import SweepTable
+
+# Random measurement-like rows: a few categorical coordinates with
+# deliberately small alphabets (collisions ahoy) + numeric columns.
+_row = st.fixed_dictionaries({
+    "device": st.sampled_from(["cpu", "gpu", "fpga"]),
+    "format": st.sampled_from(["CSR", "ELL", "COO", "DIA"]),
+    "nnz": st.integers(min_value=0, max_value=5),
+    "gflops": st.floats(
+        min_value=0.0, max_value=100.0, allow_nan=False
+    ),
+})
+_rows = st.lists(_row, min_size=1, max_size=50)
+
+_key = st.sampled_from(["device", "format", "nnz"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_rows, key=_key)
+def test_where_masks_partition_the_table(rows, key):
+    table = SweepTable.from_rows(rows)
+    masks = [table.mask(**{key: v}) for v in table.unique(key)]
+    stacked = np.stack(masks)
+    # Disjoint: no row matches two values; covering: every row matches.
+    assert (stacked.sum(axis=0) == 1).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_rows, key=_key)
+def test_where_matches_dict_row_filter(rows, key):
+    table = SweepTable.from_rows(rows)
+    for v in table.unique(key):
+        assert table.where(**{key: v}).to_rows() == [
+            r for r in rows if r[key] == v
+        ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_rows, key=_key)
+def test_groupby_is_an_order_stable_partition(rows, key):
+    table = SweepTable.from_rows(rows)
+    groups = list(table.groupby(key))
+
+    # Group keys in first-appearance order, no duplicates.
+    assert [k for k, _ in groups] == list(dict.fromkeys(
+        r[key] for r in rows
+    ))
+    # Each group holds exactly its rows, in original relative order,
+    # and the groups partition the table.
+    total = 0
+    for value, sub in groups:
+        expected = [r for r in rows if r[key] == value]
+        assert sub.to_rows() == expected
+        total += len(sub)
+    assert total == len(table)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_rows)
+def test_rows_roundtrip(rows):
+    table = SweepTable.from_rows(rows)
+    assert table.to_rows() == rows
+    assert SweepTable.from_rows(table.to_rows()) == table
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=_rows, splits=st.integers(min_value=1, max_value=5))
+def test_concat_of_any_chunking_equals_whole(rows, splits):
+    table = SweepTable.from_rows(rows)
+    bounds = sorted(
+        {0, len(rows)} | set(
+            np.linspace(0, len(rows), splits + 1, dtype=int).tolist()
+        )
+    )
+    chunks = [
+        SweepTable.from_rows(rows[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+    assert SweepTable.concat(chunks) == table

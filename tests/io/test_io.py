@@ -1,10 +1,14 @@
-"""MatrixMarket and CSV round-trips."""
+"""MatrixMarket, CSV and table round-trips."""
 
 import numpy as np
 import pytest
 
 from repro.core.matrix import csr_from_dense
-from repro.io import read_mtx, read_rows, write_mtx, write_rows
+from repro.core.table import SweepTable
+from repro.io import (
+    load_table, read_mtx, read_rows, read_table, save_table, write_mtx,
+    write_rows, write_table,
+)
 
 
 class TestMtx:
@@ -107,3 +111,73 @@ class TestCsv:
         path = tmp_path / "e.csv"
         write_rows(path, [])
         assert read_rows(path) == []
+
+    def test_schema_types_survive_roundtrip(self, tmp_path):
+        """Regression: read_rows used to guess types per cell, so a
+        numeric-looking matrix name came back as an int and every value
+        of an int column that printed like a float drifted.  Parsing
+        through the table schema keeps write→read value-identical."""
+        rows = [{
+            "matrix": "123",            # categorical: must stay str
+            "device": "1e9",            # categorical: must stay str
+            "format": "CSR",
+            "precision": "fp64",
+            "bottleneck": "memory_bandwidth",
+            "spec_index": 7,            # schema int
+            "nnz": 100,
+            "req_avg_nnz": 10.0,        # schema float
+            "gflops": 0.1 + 0.2,        # repr round-trip exact
+        }]
+        path = tmp_path / "typed.csv"
+        write_rows(path, rows)
+        back = read_rows(path)
+        assert back == rows
+        assert isinstance(back[0]["matrix"], str)
+        assert isinstance(back[0]["device"], str)
+        assert isinstance(back[0]["spec_index"], int)
+        assert isinstance(back[0]["req_avg_nnz"], float)
+        assert back[0]["gflops"] == rows[0]["gflops"]  # bit-exact
+
+
+class TestTableIO:
+    ROWS = [
+        {"matrix": "m0", "device": "cpu", "format": "CSR",
+         "gflops": 1.0 / 3.0, "nnz": 10},
+        {"matrix": "m1", "device": "cpu", "format": "ELL",
+         "gflops": 2.5e-17, "nnz": 20},
+    ]
+
+    def test_csv_roundtrip_value_identical(self, tmp_path):
+        table = SweepTable.from_rows(self.ROWS)
+        path = tmp_path / "t.csv"
+        write_table(path, table)
+        back = read_table(path)
+        assert back == table
+        assert back.to_rows() == self.ROWS
+
+    def test_csv_empty_table(self, tmp_path):
+        path = tmp_path / "e.csv"
+        write_table(path, SweepTable({}))
+        assert len(read_table(path)) == 0
+
+    @pytest.mark.parametrize("ext", ["npz", "csv", "json"])
+    def test_save_load_dispatch(self, tmp_path, ext):
+        table = SweepTable.from_rows(self.ROWS)
+        path = tmp_path / f"t.{ext}"
+        assert save_table(path, table) == ext
+        assert load_table(path) == table
+
+    def test_format_override_beats_extension(self, tmp_path):
+        table = SweepTable.from_rows(self.ROWS)
+        path = tmp_path / "t.dat"
+        save_table(path, table, fmt="npz")
+        assert load_table(path, fmt="npz") == table
+
+    def test_unknown_extension_actionable(self, tmp_path):
+        with pytest.raises(ValueError, match="npz"):
+            save_table(tmp_path / "t.parquet",
+                       SweepTable.from_rows(self.ROWS))
+
+    def test_missing_file_actionable(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_table(tmp_path / "absent.npz")

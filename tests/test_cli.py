@@ -138,3 +138,56 @@ class TestSweep:
             ]) == 0
             assert read_rows(out_csv) == read_rows(serial_csv)
         assert list(cache_dir.glob("*.npz"))  # cache was populated
+
+    def test_npz_out_feeds_experiment(self, tmp_path, capsys,
+                                      monkeypatch):
+        """sweep --out table.npz → experiment --table table.npz equals
+        the re-sweeping experiment byte for byte."""
+        import repro.core.feature_space as fs
+
+        original = fs.build_dataset_specs
+        monkeypatch.setattr(
+            "repro.core.feature_space.build_dataset_specs",
+            lambda scale, **kw: original(scale, **kw)[:6],
+        )
+        npz = tmp_path / "table.npz"
+        assert main([
+            "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+            "--max-nnz", "20000", "--all-formats", "--out", str(npz),
+        ]) == 0
+        from repro.core.table import SweepTable
+
+        table = SweepTable.from_npz(npz)
+        assert len(table.unique("matrix")) == 6
+        assert len(table) > 6  # per-format rows, not best-only
+
+        ref, via_table = tmp_path / "ref.json", tmp_path / "tab.json"
+        # --limit shrinks the re-sweeping reference to the same first 6
+        # specs the (monkeypatched) sweep command persisted.
+        base = ["experiment", "--scale", "tiny", "--devices",
+                "INTEL-XEON", "--max-nnz", "20000", "--folds", "2",
+                "--model", "knn", "--limit", "6"]
+        assert main(base + ["--out", str(ref)]) == 0
+        assert main(base + ["--table", str(npz),
+                            "--out", str(via_table)]) == 0
+        assert via_table.read_bytes() == ref.read_bytes()
+
+    def test_format_flag_overrides_extension(self, tmp_path,
+                                             monkeypatch):
+        import repro.core.feature_space as fs
+
+        original = fs.build_dataset_specs
+        monkeypatch.setattr(
+            "repro.core.feature_space.build_dataset_specs",
+            lambda scale, **kw: original(scale, **kw)[:2],
+        )
+        out = tmp_path / "table.dat"
+        assert main([
+            "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+            "--max-nnz", "20000", "--format", "json", "--out", str(out),
+        ]) == 0
+        import json
+
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2
+        assert rows[0]["device"] == "INTEL-XEON"

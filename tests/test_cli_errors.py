@@ -107,6 +107,66 @@ class TestUnknownNames:
         ]) == 2
         assert "lower --folds" in capsys.readouterr().err
 
+    def test_sweep_unknown_out_extension(self, capsys):
+        # Rejected before any sweeping happens.
+        assert main([
+            "sweep", "--scale", "tiny", "--devices", "INTEL-XEON",
+            "--out", "table.parquet",
+        ]) == 2
+        assert "npz" in capsys.readouterr().err
+
+    def test_experiment_missing_table_file(self, capsys):
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--folds", "2",
+            "--table", "/nonexistent/t.npz",
+        ]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_experiment_table_schema_version_mismatch(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        from repro.core.table import SweepTable
+        import repro.core.table as tbl
+
+        path = tmp_path / "old.npz"
+        SweepTable.from_rows([{
+            "matrix": "m0", "device": "INTEL-XEON", "format": "CSR",
+            "gflops": 1.0,
+        }]).to_npz(path)
+        monkeypatch.setattr(tbl, "SCHEMA_VERSION", tbl.SCHEMA_VERSION + 1)
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--folds", "2",
+            "--table", str(path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "schema version" in err and "regenerate" in err
+
+    def test_experiment_foreign_npz_rejected(self, tmp_path, capsys):
+        import numpy as np
+
+        path = tmp_path / "not-a-table.npz"
+        np.savez(path, data=np.zeros(3))
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--folds", "2",
+            "--table", str(path),
+        ]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_experiment_table_precision_mismatch(self, tmp_path, capsys):
+        from repro.core.table import SweepTable
+
+        path = tmp_path / "fp64.npz"
+        SweepTable.from_rows([
+            {"matrix": f"m{i}", "device": "INTEL-XEON", "format": fmt,
+             "precision": "fp64", "gflops": float(i + j)}
+            for i in range(2) for j, fmt in enumerate(("CSR", "ELL"))
+        ]).to_npz(path)
+        assert main([
+            "experiment", "--devices", "INTEL-XEON", "--folds", "2",
+            "--fp32", "--table", str(path),
+        ]) == 2
+        assert "fp32" in capsys.readouterr().err
+
 
 class TestHappyPaths:
     """Each subcommand exits 0 and prints/persists parseable output."""

@@ -117,3 +117,69 @@ class TestGoldenExperiment:
         cache = str(tmp_path / "cache")
         assert run_experiment(spec, cache_dir=cache).to_json() == reference
         assert run_experiment(spec, cache_dir=cache).to_json() == reference
+
+
+class TestColumnarAgreement:
+    """The table redesign's golden pin: every columnar fast path equals
+    the dict-row seed behaviour bit for bit, and the full chain survives
+    an NPZ round trip byte-identically."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return sweep(
+            _dataset(), [TESTBEDS[DEVICE]], best_only=False, seed=0,
+        )
+
+    def _reports(self, train, test, eval_batch=True):
+        selector = FormatSelector(
+            list(TESTBEDS[DEVICE].formats),
+            model_factory=lambda: KNeighborsRegressor(
+                n_neighbors=3, weights="distance"
+            ),
+        ).fit(train)
+        return selector.evaluate(test, batch=eval_batch, detail=True)
+
+    @pytest.mark.parametrize("eval_batch", [True, False])
+    def test_columnar_selector_equals_dict_row_path(self, table,
+                                                    eval_batch):
+        names = sorted({r["matrix"] for r in table.rows})
+        half = names[: N_SPECS // 2]
+        train_t = table.where_in("matrix", half)
+        test_t = table.where_in("matrix", names[N_SPECS // 2:])
+        columnar = self._reports(train_t, test_t, eval_batch)
+        reference = self._reports(
+            train_t.to_rows(), test_t.to_rows(), eval_batch
+        )
+        assert columnar == reference
+
+    def test_npz_roundtrip_is_lossless(self, table, tmp_path):
+        path = tmp_path / "sweep.npz"
+        table.to_npz(path)
+        from repro.core.table import SweepTable
+
+        back = SweepTable.from_npz(path)
+        assert back == table
+        assert back.to_rows() == table.to_rows()
+
+    def test_experiment_from_saved_table_is_byte_identical(
+        self, tmp_path
+    ):
+        spec = ExperimentSpec(
+            scale="tiny", devices=(DEVICE,), limit=N_SPECS,
+            max_nnz=MAX_NNZ, n_splits=2, model="knn",
+        )
+        reference = run_experiment(spec).to_json()
+        dataset = Dataset(
+            build_dataset_specs("tiny")[:N_SPECS], max_nnz=MAX_NNZ,
+            name="tiny",
+        )
+        saved = sweep(dataset, [TESTBEDS[DEVICE]], best_only=False,
+                      seed=0)
+        path = tmp_path / "sweep.npz"
+        saved.to_npz(path)
+        from repro.core.table import SweepTable
+
+        loaded = run_experiment(
+            spec, table=SweepTable.from_npz(path)
+        )
+        assert loaded.to_json() == reference
