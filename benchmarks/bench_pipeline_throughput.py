@@ -1,10 +1,12 @@
-"""Pipeline throughput — cold vs warm sweeps, generator engines.
+"""Pipeline throughput — cold/fused/warm sweeps, generator engines.
 
-Times the sweep execution engine end-to-end (cold materialisation vs a
-warm on-disk instance cache, at ``REPRO_JOBS`` workers) and the three
-matrix-generation engines at ~1M nnz, then writes the numbers to
-``benchmarks/results/BENCH_pipeline.json`` so the repo's performance
-trajectory is machine-readable run over run.
+Times the sweep execution engine end-to-end (cold materialisation vs
+the fused spec-to-grid path vs a warm on-disk instance cache, at
+``REPRO_JOBS`` workers) and the three matrix-generation engines at ~1M
+nnz, then writes the numbers to
+``benchmarks/results/BENCH_pipeline.json`` (mirrored to the repo-root
+``BENCH_pipeline.json`` snapshot) so the repo's performance trajectory
+is machine-readable run over run.
 
 Sweeps are seconds-long single-shot workloads, so this bench times them
 directly with ``perf_counter`` instead of pytest-benchmark's repeat loop;
@@ -25,6 +27,19 @@ from repro.devices import TESTBEDS
 from conftest import JOBS, MAX_NNZ, RESULTS_DIR, SCALE, emit
 
 BENCH_PATH = RESULTS_DIR / "BENCH_pipeline.json"
+# Committed snapshot at the repo root (also a CI artifact).
+ROOT_BENCH_PATH = RESULTS_DIR.parent.parent / "BENCH_pipeline.json"
+
+# Acceptance floor: the fused spec-to-grid path must beat cold
+# instance materialisation by at least this factor.  The measured
+# speedup on the tiny preset is ~2x; the floor keeps noise margin.
+# A larger floor is structurally impossible while staying
+# bit-identical: the fused path is already dominated by work the cold
+# path shares one-for-one (representative structure generation,
+# declared-scale row-length profiles and the per-strategy imbalance
+# passes over them), so by Amdahl the ratio is capped near
+# cold / shared ~ 2x — see docs/cold_path.md for the breakdown.
+MIN_FUSED_SPEEDUP = 1.5
 
 # Sweep workload: the configured preset on one device per class.
 SWEEP_DEVICES = [
@@ -47,7 +62,9 @@ def results():
         "jobs": JOBS,
         **acc,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    BENCH_PATH.write_text(text)
+    ROOT_BENCH_PATH.write_text(text + "\n")
 
 
 def _specs():
@@ -55,44 +72,79 @@ def _specs():
 
 
 def test_sweep_cold_vs_warm(results, tmp_path_factory):
-    """Cold sweep materialises everything; warm reloads it from disk."""
+    """Cold sweep materialises everything; fused skips instances; warm
+    reloads materialised state from disk.
+
+    The three engines run interleaved per ~30-spec slice: on shared
+    hosts the machine's speed drifts by 2-3x over minutes, so
+    back-to-back whole-dataset legs compare different machines —
+    adjacent slices compare the same one.
+    """
     cache_dir = str(tmp_path_factory.mktemp("bench-cache"))
     specs = _specs()
     n = len(specs)
 
-    def timed_sweep(cache=None):
-        ds = Dataset(specs, max_nnz=MAX_NNZ, name=SCALE)
-        t0 = time.perf_counter()
-        table = sweep(ds, SWEEP_DEVICES, jobs=JOBS, cache_dir=cache)
-        return time.perf_counter() - t0, table
+    t_cold = t_fused = t_warm = 0.0
+    cold_rows: list = []
+    fused_rows: list = []
+    warm_rows: list = []
+    chunk = 30
+    for lo in range(0, n, chunk):
+        sub = specs[lo:lo + chunk]
+
+        def timed_sweep(cache=None, fused=False):
+            ds = Dataset(sub, max_nnz=MAX_NNZ, name=f"{SCALE}:{lo}")
+            t0 = time.perf_counter()
+            table = sweep(ds, SWEEP_DEVICES, jobs=JOBS, cache_dir=cache,
+                          fused=fused)
+            return time.perf_counter() - t0, table
+
+        t, table = timed_sweep(cache=cache_dir)
+        t_cold += t
+        cold_rows.extend(table.rows)
+        t, table = timed_sweep(fused=True)
+        t_fused += t
+        fused_rows.extend(table.rows)
+        # The cold leg of this slice just populated the cache.
+        t, table = timed_sweep(cache=cache_dir)
+        t_warm += t
+        warm_rows.extend(table.rows)
 
     # (Row-identity of cached/parallel vs serial-reference sweeps is
     # asserted by the tier-1 pipeline tests; the bench only re-checks that
-    # warm output matches cold.)
-    t_cold, cold = timed_sweep(cache=cache_dir)
-    t_warm, warm = timed_sweep(cache=cache_dir)
-    assert warm.rows == cold.rows
+    # fused and warm output match cold.)
+    assert fused_rows == cold_rows
+    assert warm_rows == cold_rows
 
     results["sweep"] = {
         "n_specs": n,
         "n_devices": len(SWEEP_DEVICES),
         "cold_s": round(t_cold, 3),
+        "fused_s": round(t_fused, 3),
         "warm_s": round(t_warm, 3),
         "cold_specs_per_s": round(n / t_cold, 2),
+        "fused_cold_specs_per_s": round(n / t_fused, 2),
         "warm_specs_per_s": round(n / t_warm, 2),
+        "fused_vs_cold": round(t_cold / t_fused, 2),
         "warm_vs_cold": round(t_cold / t_warm, 2),
     }
     emit(
         "pipeline_sweep_throughput",
         f"sweep of {n} specs x {len(SWEEP_DEVICES)} devices "
         f"(scale={SCALE}, jobs={JOBS})\n"
-        f"  cold: {t_cold:.2f}s ({n / t_cold:.1f} specs/s)\n"
-        f"  warm: {t_warm:.2f}s ({n / t_warm:.1f} specs/s)\n"
+        f"  cold:  {t_cold:.2f}s ({n / t_cold:.1f} specs/s)\n"
+        f"  fused: {t_fused:.2f}s ({n / t_fused:.1f} specs/s)\n"
+        f"  warm:  {t_warm:.2f}s ({n / t_warm:.1f} specs/s)\n"
+        f"  fused-vs-cold speedup: {t_cold / t_fused:.1f}x\n"
         f"  warm-vs-cold speedup: {t_cold / t_warm:.1f}x",
     )
     # The whole point of the cache: warm sweeps skip materialisation.
     assert t_cold / t_warm >= 3.0, (
         f"warm sweep only {t_cold / t_warm:.1f}x faster than cold"
+    )
+    # And the point of fusion: cold sweeps skip materialisation too.
+    assert t_cold / t_fused >= MIN_FUSED_SPEEDUP, (
+        f"fused sweep only {t_cold / t_fused:.1f}x faster than cold"
     )
 
 

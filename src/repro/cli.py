@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="score chunks through the vectorised grid "
                         "simulator (default; --no-batch keeps the scalar "
                         "reference loop — output is identical)")
+    w.add_argument("--fused", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="fused cold path: score spec chunks straight "
+                        "from generated CSR structure arrays (no "
+                        "instance materialisation, no cache traffic; "
+                        "output is identical — fastest when the cache "
+                        "is cold)")
     w.add_argument("--all-formats", action="store_true",
                    help="one row per (matrix, device, format) instead "
                         "of the best format per (matrix, device) — "
@@ -244,6 +251,8 @@ def _cmd_sweep(args) -> int:
 
     jobs = resolve_jobs(args.jobs)
     engine = f"{jobs} worker{'s' if jobs != 1 else ''}"
+    if args.fused:
+        engine += ", fused"
     if args.cache_dir:
         engine += f", cache at {args.cache_dir}"
     print(
@@ -255,6 +264,7 @@ def _cmd_sweep(args) -> int:
     table = sweep(
         dataset, devices, best_only=not args.all_formats,
         jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
+        fused=args.fused,
         progress=lambda i, n: print(f"\r  {i}/{n}", end="", flush=True),
     )
     print()

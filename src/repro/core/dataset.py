@@ -25,7 +25,7 @@ from .generator import MatrixSpec
 from .table import SweepTable
 
 __all__ = ["Dataset", "sweep", "spec_rows", "grid_spec_rows",
-           "grid_spec_table", "SweepTable"]
+           "grid_spec_table", "fused_spec_table", "SweepTable"]
 
 DEFAULT_MAX_NNZ = 100_000
 
@@ -223,42 +223,15 @@ def _first_seen_codes(values: np.ndarray, labels: Sequence[str]):
     return rank[inverse], categories
 
 
-def grid_spec_table(
-    dataset: Dataset,
-    lo: int,
-    hi: int,
-    devices: Sequence[Device],
-    best_only: bool = True,
-    formats: Optional[Sequence[str]] = None,
-    seed: int = 0,
-    precision: str = "fp64",
-) -> SweepTable:
-    """Columnar measurement table for specs ``lo..hi`` — the production
-    sweep path.
-
-    Row-for-row identical (via ``to_rows()``) to :func:`grid_spec_rows`
-    plus a constant ``precision`` column, but the columns are gathered
-    straight from the grid simulator's structured array and the
-    per-instance feature/spec scalars — no dict per row, ever.
-    """
-    from ..perfmodel.batch import STATUS_OK, simulate_grid
-    from ..perfmodel.simulator import BOTTLENECKS
-
-    indices = list(range(lo, hi))
-    instances = [dataset.instance(i) for i in indices]
-    grid = simulate_grid(instances, devices, formats=formats, seed=seed,
-                         precisions=(precision,))
-
-    if best_only:
-        flat = grid.best_per().ravel()
-        flat = flat[flat >= 0]
-    else:
-        flat = np.flatnonzero(grid.data["status"] == STATUS_OK)
-    if len(flat) == 0:
-        return SweepTable({})
-    rec = grid.data[flat]
-
-    n_inst = len(instances)
+def _per_inst_columns(
+    indices: Sequence[int],
+    specs: Sequence[MatrixSpec],
+    features_of: Callable[[int], "object"],
+) -> Dict[str, np.ndarray]:
+    """Per-spec scalar columns (measured features at declared scale plus
+    requested grid coordinates), gathered once per chunk member.
+    ``features_of`` maps a chunk-local index to its ``Features``."""
+    n_inst = len(indices)
     per_inst = {
         "spec_index": np.empty(n_inst, dtype=np.int64),
         "mem_footprint_mb": np.empty(n_inst),
@@ -275,8 +248,8 @@ def grid_spec_table(
         "req_neigh": np.empty(n_inst),
     }
     for ci, i in enumerate(indices):
-        feats = instances[ci].features
-        spec = dataset.specs[i]
+        feats = features_of(ci)
+        spec = specs[i]
         per_inst["spec_index"][ci] = i
         per_inst["mem_footprint_mb"][ci] = feats.mem_footprint_mb
         per_inst["avg_nnz_per_row"][ci] = feats.avg_nnz_per_row
@@ -290,6 +263,26 @@ def grid_spec_table(
         per_inst["req_skew"][ci] = spec.skew_coeff
         per_inst["req_sim"][ci] = spec.cross_row_sim
         per_inst["req_neigh"][ci] = spec.avg_num_neigh
+    return per_inst
+
+
+def _grid_sweep_table(
+    grid, per_inst: Dict[str, np.ndarray], best_only: bool, precision: str
+) -> SweepTable:
+    """Assemble the measurement table from a scored grid plus the chunk's
+    per-spec scalar columns — shared by the instance and fused paths, so
+    both emit byte-identical tables by construction."""
+    from ..perfmodel.batch import STATUS_OK
+    from ..perfmodel.simulator import BOTTLENECKS
+
+    if best_only:
+        flat = grid.best_per().ravel()
+        flat = flat[flat >= 0]
+    else:
+        flat = np.flatnonzero(grid.data["status"] == STATUS_OK)
+    if len(flat) == 0:
+        return SweepTable({})
+    rec = grid.data[flat]
 
     inst_idx = rec["instance"].astype(np.int64)
     columns: Dict[str, np.ndarray] = {}
@@ -317,6 +310,77 @@ def grid_spec_table(
     return SweepTable(columns, categories)
 
 
+def grid_spec_table(
+    dataset: Dataset,
+    lo: int,
+    hi: int,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    precision: str = "fp64",
+    instances: Optional[Sequence] = None,
+) -> SweepTable:
+    """Columnar measurement table for specs ``lo..hi`` — the production
+    sweep path.
+
+    Row-for-row identical (via ``to_rows()``) to :func:`grid_spec_rows`
+    plus a constant ``precision`` column, but the columns are gathered
+    straight from the grid simulator's structured array and the
+    per-instance feature/spec scalars — no dict per row, ever.
+    ``instances`` lets a caller that already materialised the chunk (the
+    pipeline engine, which also owns cache write-back) pass it in; the
+    default materialises through ``dataset.instance``.
+    """
+    from ..perfmodel.batch import simulate_grid
+
+    indices = list(range(lo, hi))
+    if instances is None:
+        instances = [dataset.instance(i) for i in indices]
+    elif len(instances) != len(indices):
+        raise ValueError("instances must cover exactly specs lo..hi")
+    grid = simulate_grid(instances, devices, formats=formats, seed=seed,
+                         precisions=(precision,))
+    per_inst = _per_inst_columns(
+        indices, dataset.specs, lambda ci: instances[ci].features
+    )
+    return _grid_sweep_table(grid, per_inst, best_only, precision)
+
+
+def fused_spec_table(
+    dataset: Dataset,
+    lo: int,
+    hi: int,
+    devices: Sequence[Device],
+    best_only: bool = True,
+    formats: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    precision: str = "fp64",
+) -> SweepTable:
+    """Measurement table for specs ``lo..hi`` via the fused cold path.
+
+    Specs go straight to CSR structure arrays, batched analytic format
+    statistics and grid scoring — no :class:`MatrixInstance`, no value
+    payloads, no cache traffic.  Output is row-for-row bit-identical to
+    :func:`grid_spec_table` over the same chunk (the fused agreement
+    suite locks this down); use it when the instance cache is cold and
+    the matrices are not needed afterwards.
+    """
+    from ..perfmodel.batch import _score_grid
+    from ..perfmodel.fused import FusedSpecSource
+
+    indices = list(range(lo, hi))
+    source = FusedSpecSource(
+        [dataset.specs[i] for i in indices],
+        [f"{dataset.name}[{i}]" for i in indices],
+        max_nnz=dataset.max_nnz,
+    )
+    grid = _score_grid(source, devices, formats=formats, seed=seed,
+                       precisions=(precision,))
+    per_inst = _per_inst_columns(indices, dataset.specs, source.features)
+    return _grid_sweep_table(grid, per_inst, best_only, precision)
+
+
 def sweep(
     dataset: Dataset,
     devices: Sequence[Device],
@@ -328,6 +392,7 @@ def sweep(
     cache_dir: Optional[str] = None,
     batch: bool = True,
     precision: str = "fp64",
+    fused: bool = False,
 ) -> SweepTable:
     """Simulate the dataset on every device.
 
@@ -344,14 +409,16 @@ def sweep(
     instance cache.  ``batch`` (the default) scores each chunk through
     the vectorised grid simulator; ``batch=False`` keeps the scalar
     per-triple loop.  ``precision`` scores every cell at fp64 (the
-    default) or fp32.  Output is row-for-row identical across all
-    engines, cache states and batch modes; every path funnels through
-    :func:`repro.pipeline.run_sweep`.
+    default) or fp32.  ``fused`` scores chunks straight from the specs
+    (structure generation + batched analytic stats, no instances and no
+    cache traffic) — the cold-sweep fast path.  Output is row-for-row
+    identical across all engines, cache states, batch and fused modes;
+    every path funnels through :func:`repro.pipeline.run_sweep`.
     """
     from ..pipeline.engine import run_sweep
 
     return run_sweep(
         dataset, devices, best_only=best_only, formats=formats,
         seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress,
-        batch=batch, precision=precision,
+        batch=batch, precision=precision, fused=fused,
     )

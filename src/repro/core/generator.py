@@ -32,13 +32,15 @@ from typing import Optional
 
 import numpy as np
 
-from .matrix import CSRMatrix, csr_from_coo
+from .matrix import CSRMatrix, CSRStructBatch, INDEX_DTYPE, csr_from_coo
 
 __all__ = [
     "MatrixSpec",
     "artificial_matrix_generation",
+    "artificial_structure_generation",
     "generate_matrix",
     "row_length_profile",
+    "structure_batch",
 ]
 
 # Run-length / chain-height probabilities are clipped here to keep the
@@ -230,7 +232,7 @@ def _fresh_candidates(
     return cand, seed_off
 
 
-def _generate_rowwise(
+def _rowwise_structure(
     n_rows: int,
     n_cols: int,
     lengths: np.ndarray,
@@ -238,8 +240,8 @@ def _generate_rowwise(
     cross_row_sim: float,
     avg_num_neigh: float,
     rng: np.random.Generator,
-) -> CSRMatrix:
-    """Vectorised Listing-1 engine.
+):
+    """Vectorised Listing-1 engine (structure pass: ``(indptr, indices)``).
 
     Rows are still built sequentially (cross-row run duplication is a true
     loop-carried dependency), but all per-element work is batched: fresh
@@ -256,12 +258,9 @@ def _generate_rowwise(
     total = int(lengths.sum())
     indptr = [0]
     if total == 0:
-        return CSRMatrix(
-            n_rows,
-            n_cols,
+        return (
             np.zeros(n_rows + 1, dtype=np.int64),
             np.zeros(0, dtype=np.int64),
-            np.zeros(0),
         )
 
     cand_all, cand_off = _fresh_candidates(
@@ -369,13 +368,10 @@ def _generate_rowwise(
     indices = (
         np.concatenate(all_cols) if all_cols else np.zeros(0, dtype=np.int64)
     )
-    data = rng.uniform(0.1, 1.0, len(indices))
-    return CSRMatrix(
-        n_rows, n_cols, np.asarray(indptr, dtype=np.int64), indices, data
-    )
+    return np.asarray(indptr, dtype=np.int64), indices
 
 
-def _generate_rowwise_baseline(
+def _generate_rowwise(
     n_rows: int,
     n_cols: int,
     lengths: np.ndarray,
@@ -384,8 +380,28 @@ def _generate_rowwise_baseline(
     avg_num_neigh: float,
     rng: np.random.Generator,
 ) -> CSRMatrix:
-    """The seed's per-element sequential engine, kept as the reference
-    implementation for agreement tests and the pipeline throughput bench."""
+    """Vectorised Listing-1 engine (full matrix: structure + values)."""
+    indptr, indices = _rowwise_structure(
+        n_rows, n_cols, lengths, bw_scaled, cross_row_sim, avg_num_neigh,
+        rng,
+    )
+    # Values are drawn last, after the structure is complete, so the
+    # structure pass consumes an identical RNG stream.
+    data = rng.uniform(0.1, 1.0, len(indices))
+    return CSRMatrix(n_rows, n_cols, indptr, indices, data)
+
+
+def _rowwise_baseline_structure(
+    n_rows: int,
+    n_cols: int,
+    lengths: np.ndarray,
+    bw_scaled: float,
+    cross_row_sim: float,
+    avg_num_neigh: float,
+    rng: np.random.Generator,
+):
+    """The seed's per-element sequential engine (structure pass), kept as
+    the reference implementation for agreement tests and benchmarks."""
     p_run = min(avg_num_neigh / 2.0, _P_MAX)
     start, width = _row_windows(n_rows, n_cols, lengths, bw_scaled, rng)
 
@@ -446,14 +462,10 @@ def _generate_rowwise_baseline(
     indices = (
         np.concatenate(all_cols) if all_cols else np.zeros(0, dtype=np.int64)
     )
-    data = rng.uniform(0.1, 1.0, len(indices))
-    return CSRMatrix(n_rows, n_cols, indptr, indices, data)
+    return indptr, indices
 
 
-# ---------------------------------------------------------------------------
-# Chain engine (vectorised)
-# ---------------------------------------------------------------------------
-def _generate_chain(
+def _generate_rowwise_baseline(
     n_rows: int,
     n_cols: int,
     lengths: np.ndarray,
@@ -462,6 +474,27 @@ def _generate_chain(
     avg_num_neigh: float,
     rng: np.random.Generator,
 ) -> CSRMatrix:
+    """Reference sequential engine (full matrix: structure + values)."""
+    indptr, indices = _rowwise_baseline_structure(
+        n_rows, n_cols, lengths, bw_scaled, cross_row_sim, avg_num_neigh,
+        rng,
+    )
+    data = rng.uniform(0.1, 1.0, len(indices))
+    return CSRMatrix(n_rows, n_cols, indptr, indices, data)
+
+
+# ---------------------------------------------------------------------------
+# Chain engine (vectorised)
+# ---------------------------------------------------------------------------
+def _chain_coo(
+    n_rows: int,
+    n_cols: int,
+    lengths: np.ndarray,
+    bw_scaled: float,
+    cross_row_sim: float,
+    avg_num_neigh: float,
+    rng: np.random.Generator,
+):
     p_run = min(max(avg_num_neigh / 2.0, 0.0), _P_MAX)
     q_sim = min(max(cross_row_sim, 0.0), _P_MAX)
     mean_run = 1.0 / (1.0 - p_run)
@@ -484,13 +517,7 @@ def _generate_chain(
     n_births = _stochastic_round(births, rng)
     total = int(n_births.sum())
     if total == 0:
-        return CSRMatrix(
-            n_rows,
-            n_cols,
-            np.zeros(n_rows + 1, dtype=np.int64),
-            np.zeros(0, dtype=np.int64),
-            np.zeros(0),
-        )
+        return None
 
     birth_row = np.repeat(np.arange(n_rows, dtype=np.int64), n_births)
 
@@ -536,14 +563,120 @@ def _generate_chain(
     col_off = elem_idx - row_off * m_of_elem
     rows = birth_row[chain_of_elem] + row_off
     cols = c0[chain_of_elem] + col_off
+    return rows, cols
 
-    vals = rng.uniform(0.1, 1.0, n_elems)
+
+def _generate_chain(
+    n_rows: int,
+    n_cols: int,
+    lengths: np.ndarray,
+    bw_scaled: float,
+    cross_row_sim: float,
+    avg_num_neigh: float,
+    rng: np.random.Generator,
+) -> CSRMatrix:
+    """Chain engine (full matrix): COO chains -> values -> sorted dedup."""
+    coo = _chain_coo(
+        n_rows, n_cols, lengths, bw_scaled, cross_row_sim, avg_num_neigh,
+        rng,
+    )
+    if coo is None:
+        return CSRMatrix(
+            n_rows,
+            n_cols,
+            np.zeros(n_rows + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+        )
+    rows, cols = coo
+    vals = rng.uniform(0.1, 1.0, len(rows))
     return csr_from_coo(n_rows, n_cols, rows, cols, vals, sum_duplicates=True)
+
+
+def _chain_structure(
+    n_rows: int,
+    n_cols: int,
+    lengths: np.ndarray,
+    bw_scaled: float,
+    cross_row_sim: float,
+    avg_num_neigh: float,
+    rng: np.random.Generator,
+):
+    """Chain engine (structure pass): COO chains -> key-sort dedup.
+
+    Sorting the flattened ``row * n_cols + col`` keys and dropping adjacent
+    duplicates produces exactly the sorted unique (row, col) set that
+    :func:`~repro.core.matrix.csr_from_coo` emits, without carrying values
+    through the lexsort — the fused agreement suite pins the equality.
+    """
+    coo = _chain_coo(
+        n_rows, n_cols, lengths, bw_scaled, cross_row_sim, avg_num_neigh,
+        rng,
+    )
+    if coo is None:
+        return (
+            np.zeros(n_rows + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+    rows, cols = coo
+    keys = rows * np.int64(n_cols) + cols
+    keys.sort()
+    uniq = keys[np.concatenate(([True], np.diff(keys) != 0))]
+    indices = uniq % n_cols
+    counts = np.bincount(uniq // n_cols, minlength=n_rows)
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices
 
 
 # ---------------------------------------------------------------------------
 # Public API
 # ---------------------------------------------------------------------------
+_FULL_ENGINES = {
+    "rowwise": _generate_rowwise,
+    "rowwise-baseline": _generate_rowwise_baseline,
+    "chain": _generate_chain,
+}
+_STRUCTURE_ENGINES = {
+    "rowwise": _rowwise_structure,
+    "rowwise-baseline": _rowwise_baseline_structure,
+    "chain": _chain_structure,
+}
+
+
+def _generation_prologue(
+    nr_rows: int,
+    nr_cols: int,
+    avg_nz_row: float,
+    std_nz_row: Optional[float],
+    distribution: str,
+    skew_coeff: float,
+    bw_scaled: float,
+    cross_row_sim: float,
+    avg_num_neigh: float,
+    seed: Optional[int],
+):
+    """Shared parameter validation + RNG + row profile for both entries."""
+    if nr_rows < 0 or nr_cols < 0:
+        raise ValueError("matrix dimensions must be non-negative")
+    if not 0.0 <= cross_row_sim <= 1.0:
+        raise ValueError("cross_row_sim must be in [0, 1]")
+    if not 0.0 <= avg_num_neigh <= 2.0:
+        raise ValueError("avg_num_neigh must be in [0, 2]")
+    if not 0.0 < bw_scaled <= 1.0:
+        raise ValueError("bw_scaled must be in (0, 1]")
+    if skew_coeff < 0:
+        raise ValueError("skew_coeff must be non-negative")
+    rng = np.random.default_rng(seed)
+    if std_nz_row is None:
+        std_nz_row = 0.1 * avg_nz_row
+    lengths = row_length_profile(
+        nr_rows, nr_cols, avg_nz_row, std_nz_row, skew_coeff, rng,
+        distribution,
+    )
+    return rng, lengths
+
+
 def artificial_matrix_generation(
     nr_rows: int,
     nr_cols: int,
@@ -572,39 +705,50 @@ def artificial_matrix_generation(
     (vectorised statistical equivalent, the default — orders of magnitude
     faster for large matrices).
     """
-    if nr_rows < 0 or nr_cols < 0:
-        raise ValueError("matrix dimensions must be non-negative")
-    if not 0.0 <= cross_row_sim <= 1.0:
-        raise ValueError("cross_row_sim must be in [0, 1]")
-    if not 0.0 <= avg_num_neigh <= 2.0:
-        raise ValueError("avg_num_neigh must be in [0, 2]")
-    if not 0.0 < bw_scaled <= 1.0:
-        raise ValueError("bw_scaled must be in (0, 1]")
-    if skew_coeff < 0:
-        raise ValueError("skew_coeff must be non-negative")
-    rng = np.random.default_rng(seed)
-    if std_nz_row is None:
-        std_nz_row = 0.1 * avg_nz_row
-    lengths = row_length_profile(
-        nr_rows, nr_cols, avg_nz_row, std_nz_row, skew_coeff, rng,
-        distribution,
+    if method not in _FULL_ENGINES:
+        raise ValueError(f"unknown method {method!r}")
+    rng, lengths = _generation_prologue(
+        nr_rows, nr_cols, avg_nz_row, std_nz_row, distribution, skew_coeff,
+        bw_scaled, cross_row_sim, avg_num_neigh, seed,
     )
-    if method == "rowwise":
-        return _generate_rowwise(
-            nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
-            avg_num_neigh, rng,
-        )
-    if method == "rowwise-baseline":
-        return _generate_rowwise_baseline(
-            nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
-            avg_num_neigh, rng,
-        )
-    if method == "chain":
-        return _generate_chain(
-            nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
-            avg_num_neigh, rng,
-        )
-    raise ValueError(f"unknown method {method!r}")
+    return _FULL_ENGINES[method](
+        nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
+        avg_num_neigh, rng,
+    )
+
+
+def artificial_structure_generation(
+    nr_rows: int,
+    nr_cols: int,
+    avg_nz_row: float,
+    std_nz_row: Optional[float] = None,
+    distribution: str = "normal",
+    skew_coeff: float = 0.0,
+    bw_scaled: float = 0.3,
+    cross_row_sim: float = 0.5,
+    avg_num_neigh: float = 1.0,
+    seed: Optional[int] = None,
+    method: str = "chain",
+):
+    """Structure-only twin of :func:`artificial_matrix_generation`.
+
+    Returns ``(indptr, indices)`` — exactly the structure arrays of the
+    matrix the full generator would produce for the same parameters.  Every
+    engine draws element values *last*, after the structure is final, so
+    skipping the value draw consumes an identical RNG stream and the
+    structure is bit-identical (the fused agreement suite enforces this).
+    The fused cold path uses this entry to skip value allocation entirely.
+    """
+    if method not in _STRUCTURE_ENGINES:
+        raise ValueError(f"unknown method {method!r}")
+    rng, lengths = _generation_prologue(
+        nr_rows, nr_cols, avg_nz_row, std_nz_row, distribution, skew_coeff,
+        bw_scaled, cross_row_sim, avg_num_neigh, seed,
+    )
+    return _STRUCTURE_ENGINES[method](
+        nr_rows, nr_cols, lengths, bw_scaled, cross_row_sim,
+        avg_num_neigh, rng,
+    )
 
 
 # CSR cost model used to translate footprint <-> row count (4-byte indices,
@@ -728,3 +872,59 @@ class MatrixSpec:
 def generate_matrix(spec: MatrixSpec, max_nnz: Optional[int] = None):
     """Convenience wrapper: ``spec.build(max_nnz)``."""
     return spec.build(max_nnz=max_nnz)
+
+
+def structure_batch(specs, max_nnz: Optional[int] = None) -> CSRStructBatch:
+    """Chunked structure generation for the fused cold path.
+
+    Generates the representative CSR *structure* (``indptr``/``indices``)
+    for every spec in ``specs`` — each down-scaled through
+    :meth:`MatrixSpec.representative` exactly as :meth:`MatrixSpec.build`
+    would — and stacks the results into one flat
+    :class:`~repro.core.matrix.CSRStructBatch`.  Per-spec RNG streams are
+    pinned by ``spec.seed``, so each chunk entry is bit-identical to the
+    structure of the matrix the instance path materialises.
+    """
+    specs = list(specs)
+    n = len(specs)
+    n_rows = np.zeros(n, dtype=np.int64)
+    n_cols = np.zeros(n, dtype=np.int64)
+    row_offsets = np.zeros(n + 1, dtype=np.int64)
+    nnz_offsets = np.zeros(n + 1, dtype=np.int64)
+    lengths_parts = []
+    indices_parts = []
+    for k, spec in enumerate(specs):
+        rep = spec if max_nnz is None else spec.representative(max_nnz)
+        indptr, indices = artificial_structure_generation(
+            rep.n_rows,
+            rep.n_cols,
+            rep.avg_nnz_per_row,
+            std_nz_row=rep.std_ratio * rep.avg_nnz_per_row,
+            distribution=rep.distribution,
+            skew_coeff=rep.skew_coeff,
+            bw_scaled=rep.bw_scaled,
+            cross_row_sim=rep.cross_row_sim,
+            avg_num_neigh=rep.avg_num_neigh,
+            seed=rep.seed,
+            method=rep.method,
+        )
+        n_rows[k] = rep.n_rows
+        n_cols[k] = rep.n_cols
+        row_offsets[k + 1] = row_offsets[k] + rep.n_rows
+        nnz_offsets[k + 1] = nnz_offsets[k] + len(indices)
+        lengths_parts.append(np.diff(indptr))
+        indices_parts.append(indices.astype(INDEX_DTYPE, copy=False))
+    return CSRStructBatch(
+        n_rows=n_rows,
+        n_cols=n_cols,
+        row_lengths=(
+            np.concatenate(lengths_parts)
+            if lengths_parts else np.zeros(0, dtype=np.int64)
+        ),
+        row_offsets=row_offsets,
+        indices=(
+            np.concatenate(indices_parts)
+            if indices_parts else np.zeros(0, dtype=INDEX_DTYPE)
+        ),
+        nnz_offsets=nnz_offsets,
+    )

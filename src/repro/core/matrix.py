@@ -14,7 +14,13 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["CSRMatrix", "csr_from_arrays", "csr_from_coo", "csr_from_dense"]
+__all__ = [
+    "CSRMatrix",
+    "CSRStructBatch",
+    "csr_from_arrays",
+    "csr_from_coo",
+    "csr_from_dense",
+]
 
 # Index dtype used across the library.  The paper's matrices stay far below
 # 2^31 nonzeros; 32-bit indices also match what the CSR footprint formula in
@@ -229,6 +235,122 @@ class CSRMatrix:
 def csr_from_arrays(n_rows, n_cols, indptr, indices, data) -> CSRMatrix:
     """Construct a validated :class:`CSRMatrix` from raw arrays."""
     return CSRMatrix(n_rows, n_cols, indptr, indices, data)
+
+
+@dataclass
+class CSRStructBatch:
+    """Stacked CSR *structure* arrays for a chunk of matrices.
+
+    The fused cold path scores whole chunks of specs without materialising
+    per-instance Python objects, so the generator emits one flat container:
+    per-matrix dimensions plus the concatenated row-length and column-index
+    arrays with prefix offsets.  Values are never stored — every analytic
+    consumer (format stats, features, imbalance) is structure-only.
+
+    Attributes
+    ----------
+    n_rows, n_cols:
+        ``(n,)`` per-matrix dimensions.
+    row_lengths:
+        Concatenated per-row nonzero counts;
+        ``row_lengths[row_offsets[i]:row_offsets[i+1]]`` belongs to matrix
+        ``i``.
+    row_offsets:
+        ``(n + 1,)`` prefix offsets into ``row_lengths``.
+    indices:
+        Concatenated column indices (sorted within rows, per matrix);
+        ``indices[nnz_offsets[i]:nnz_offsets[i+1]]`` belongs to matrix ``i``.
+    nnz_offsets:
+        ``(n + 1,)`` prefix offsets into ``indices``.
+    """
+
+    n_rows: np.ndarray
+    n_cols: np.ndarray
+    row_lengths: np.ndarray
+    row_offsets: np.ndarray
+    indices: np.ndarray
+    nnz_offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.n_rows = np.ascontiguousarray(self.n_rows, dtype=np.int64)
+        self.n_cols = np.ascontiguousarray(self.n_cols, dtype=np.int64)
+        self.row_lengths = np.ascontiguousarray(
+            self.row_lengths, dtype=np.int64
+        )
+        self.row_offsets = np.ascontiguousarray(
+            self.row_offsets, dtype=np.int64
+        )
+        self.indices = np.ascontiguousarray(self.indices, dtype=INDEX_DTYPE)
+        self.nnz_offsets = np.ascontiguousarray(
+            self.nnz_offsets, dtype=np.int64
+        )
+        n = len(self.n_rows)
+        if len(self.n_cols) != n:
+            raise ValueError("n_rows and n_cols must have equal length")
+        if self.row_offsets.shape != (n + 1,):
+            raise ValueError(f"row_offsets must have shape ({n + 1},)")
+        if self.nnz_offsets.shape != (n + 1,):
+            raise ValueError(f"nnz_offsets must have shape ({n + 1},)")
+        if self.row_offsets[-1] != len(self.row_lengths):
+            raise ValueError("row_offsets[-1] must equal len(row_lengths)")
+        if self.nnz_offsets[-1] != len(self.indices):
+            raise ValueError("nnz_offsets[-1] must equal len(indices)")
+
+    def __len__(self) -> int:
+        return len(self.n_rows)
+
+    @property
+    def nnz(self) -> np.ndarray:
+        """``(n,)`` per-matrix nonzero counts."""
+        return np.diff(self.nnz_offsets)
+
+    def lengths_of(self, i: int) -> np.ndarray:
+        """Row-length view of matrix ``i``."""
+        return self.row_lengths[self.row_offsets[i]:self.row_offsets[i + 1]]
+
+    def indices_of(self, i: int) -> np.ndarray:
+        """Column-index view of matrix ``i``."""
+        return self.indices[self.nnz_offsets[i]:self.nnz_offsets[i + 1]]
+
+    def matrix(self, i: int) -> CSRMatrix:
+        """Materialise matrix ``i`` with zeroed values.
+
+        Every analytic stats/feature path is structure-only, so a zero data
+        payload is a faithful stand-in wherever a per-matrix fallback needs
+        a real :class:`CSRMatrix`.
+        """
+        lengths = self.lengths_of(i)
+        indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = self.indices_of(i)
+        return CSRMatrix(
+            int(self.n_rows[i]), int(self.n_cols[i]),
+            indptr, indices, np.zeros(len(indices)),
+            _row_lengths=lengths,
+        )
+
+    @classmethod
+    def from_matrices(cls, mats) -> "CSRStructBatch":
+        """Stack existing matrices into one structure batch (tests/tools)."""
+        mats = list(mats)
+        row_offsets = np.zeros(len(mats) + 1, dtype=np.int64)
+        nnz_offsets = np.zeros(len(mats) + 1, dtype=np.int64)
+        np.cumsum([m.n_rows for m in mats], out=row_offsets[1:])
+        np.cumsum([m.nnz for m in mats], out=nnz_offsets[1:])
+        return cls(
+            n_rows=np.array([m.n_rows for m in mats], dtype=np.int64),
+            n_cols=np.array([m.n_cols for m in mats], dtype=np.int64),
+            row_lengths=(
+                np.concatenate([m.row_lengths for m in mats])
+                if mats else np.zeros(0, dtype=np.int64)
+            ),
+            row_offsets=row_offsets,
+            indices=(
+                np.concatenate([m.indices for m in mats])
+                if mats else np.zeros(0, dtype=INDEX_DTYPE)
+            ),
+            nnz_offsets=nnz_offsets,
+        )
 
 
 def csr_from_coo(

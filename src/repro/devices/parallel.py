@@ -20,11 +20,16 @@ __all__ = [
     "nnz_balanced_rows",
     "merge_path_imbalance",
     "warp_per_row",
+    "warp_per_row_fast",
     "nnz_split",
     "element_balanced",
     "sell_chunk_imbalance",
+    "sell_chunk_imbalance_fast",
+    "sell_chunk_widths",
     "lockstep_channel_imbalance",
+    "lockstep_channel_imbalance_fast",
     "imbalance_for_strategy",
+    "imbalance_for_strategy_fast",
     "PARTITION_STRATEGIES",
 ]
 
@@ -52,14 +57,22 @@ class ImbalanceStats:
         )
 
 
-def _chunk_sums(values: np.ndarray, bounds: np.ndarray) -> np.ndarray:
-    """Sums of ``values`` between consecutive ``bounds`` indices."""
-    csum = np.concatenate(([0], np.cumsum(values)))
+def _chunk_sums(
+    values: np.ndarray, bounds: np.ndarray, csum: np.ndarray = None
+) -> np.ndarray:
+    """Sums of ``values`` between consecutive ``bounds`` indices.
+
+    ``csum`` optionally supplies the precomputed ``[0, cumsum(values)]``
+    prefix array — integer sums, so sharing it across partitioners is
+    exact; the fused cold path computes it once per row profile.
+    """
+    if csum is None:
+        csum = np.concatenate(([0], np.cumsum(values)))
     return csum[bounds[1:]] - csum[bounds[:-1]]
 
 
 def row_block_partition(
-    row_lengths: np.ndarray, n_workers: int
+    row_lengths: np.ndarray, n_workers: int, csum: np.ndarray = None
 ) -> ImbalanceStats:
     """Static contiguous row blocks of equal *row count* (Naive-CSR /
     OpenMP static scheduling).  Skewed matrices hurt: whoever owns the
@@ -68,11 +81,13 @@ def row_block_partition(
     if n_rows == 0:
         return ImbalanceStats(1.0, 0.0, 0.0, n_workers)
     bounds = np.linspace(0, n_rows, n_workers + 1).astype(np.int64)
-    return ImbalanceStats.from_loads(_chunk_sums(row_lengths, bounds))
+    return ImbalanceStats.from_loads(
+        _chunk_sums(row_lengths, bounds, csum)
+    )
 
 
 def nnz_balanced_rows(
-    row_lengths: np.ndarray, n_workers: int
+    row_lengths: np.ndarray, n_workers: int, csum: np.ndarray = None
 ) -> ImbalanceStats:
     """Contiguous row blocks of ~equal nonzeros, at row granularity
     (Balanced-CSR, inspector-executor libraries).  A single monster row
@@ -80,12 +95,15 @@ def nnz_balanced_rows(
     n_rows = len(row_lengths)
     if n_rows == 0:
         return ImbalanceStats(1.0, 0.0, 0.0, n_workers)
-    csum = np.concatenate(([0], np.cumsum(row_lengths)))
+    if csum is None:
+        csum = np.concatenate(([0], np.cumsum(row_lengths)))
     targets = np.linspace(0, csum[-1], n_workers + 1)
     bounds = np.searchsorted(csum, targets, side="left")
     bounds[0], bounds[-1] = 0, n_rows
     bounds = np.maximum.accumulate(bounds)
-    return ImbalanceStats.from_loads(_chunk_sums(row_lengths, bounds))
+    return ImbalanceStats.from_loads(
+        _chunk_sums(row_lengths, bounds, csum)
+    )
 
 
 def merge_path_imbalance(
@@ -207,6 +225,127 @@ def lockstep_channel_imbalance(
     return ImbalanceStats.from_loads(loads)
 
 
+# ---------------------------------------------------------------------------
+# Vectorised twins — same statistics, no Python-level loops.
+#
+# The three partitioners below replace per-window / round-robin Python loops
+# with reshape-based reductions.  Every load is a sum of *integer-valued*
+# terms well below 2^53, so float64 accumulation order cannot change the
+# result: each twin is bit-identical to its reference partitioner (the twin
+# agreement tests pin this), and the fused cold path routes through them.
+# ---------------------------------------------------------------------------
+def sell_chunk_widths(
+    row_lengths: np.ndarray, C: int = 32, sigma: int = 1024
+) -> np.ndarray:
+    """Per-chunk widths of the sigma-sorted SELL-C-σ layout.
+
+    This is the expensive half of :func:`sell_chunk_imbalance` — the
+    per-window descending sort and the chunk-maximum reduction — and it
+    does not depend on ``n_workers``, so callers scoring the same
+    profile at several worker counts can compute it once.
+    """
+    n_rows = len(row_lengths)
+    if n_rows == 0:
+        return np.zeros(0, dtype=np.int64)
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    n_windows = (n_rows + sigma - 1) // sigma
+    padded = np.full(n_windows * sigma, -1, dtype=np.int64)
+    padded[:n_rows] = lengths
+    srt = np.sort(padded.reshape(n_windows, sigma), axis=1)[:, ::-1]
+    srt = srt.reshape(-1)
+    srt = srt[srt >= 0]
+    n_chunks = (n_rows + C - 1) // C
+    chunk_padded = np.zeros(n_chunks * C, dtype=np.int64)
+    chunk_padded[:n_rows] = srt
+    return chunk_padded.reshape(n_chunks, C).max(axis=1)
+
+
+def sell_chunk_imbalance_fast(
+    row_lengths: np.ndarray,
+    n_workers: int,
+    C: int = 32,
+    sigma: int = 1024,
+    widths: np.ndarray = None,
+) -> ImbalanceStats:
+    """Vectorised twin of :func:`sell_chunk_imbalance`.
+
+    The per-window descending sort runs as one 2-D sort over the full
+    windows (padding the tail with -1 sentinels so it can join the same
+    reshape) instead of a Python loop over sigma-slices.  ``widths``
+    optionally supplies :func:`sell_chunk_widths` precomputed for this
+    profile — the deal to workers is all that varies with ``n_workers``.
+    """
+    n_rows = len(row_lengths)
+    if n_rows == 0:
+        return ImbalanceStats(1.0, 0.0, 0.0, n_workers)
+    if widths is None:
+        widths = sell_chunk_widths(row_lengths, C, sigma)
+    n_chunks = len(widths)
+    cost = widths * C
+    phase = np.arange(n_chunks) % (2 * n_workers)
+    slots = np.where(phase < n_workers, phase, 2 * n_workers - 1 - phase)
+    loads = np.bincount(slots, weights=cost, minlength=n_workers)
+    return ImbalanceStats.from_loads(loads)
+
+
+def warp_per_row_fast(
+    row_lengths: np.ndarray,
+    n_workers: int,
+    simd_width: int = 32,
+    cycles: np.ndarray = None,
+) -> ImbalanceStats:
+    """Vectorised twin of :func:`warp_per_row`.
+
+    Integer ceil-division replaces the float ``np.ceil`` (identical for
+    integer lengths) and the round-robin deal becomes a zero-padded
+    ``(k, n_workers)`` reshape summed down the columns.  ``cycles``
+    optionally supplies the per-row warp-cycle counts
+    (``ceil(len / simd_width)`` as int64) precomputed for this profile —
+    they do not depend on ``n_workers``.
+    """
+    n_rows = len(row_lengths)
+    if n_rows == 0:
+        return ImbalanceStats(1.0, 0.0, 0.0, n_workers)
+    if cycles is None:
+        lengths = np.asarray(row_lengths, dtype=np.int64)
+        cycles = (lengths + simd_width - 1) // simd_width
+    n_pad = (-n_rows) % n_workers
+    if n_pad:
+        cycles_padded = np.concatenate(
+            [cycles, np.zeros(n_pad, dtype=np.int64)]
+        )
+    else:
+        cycles_padded = cycles
+    loads = cycles_padded.reshape(-1, n_workers).sum(axis=0).astype(
+        np.float64
+    )
+    longest = float(cycles.max())
+    mean = loads.mean() if loads.mean() > 0 else 1.0
+    factor = max(loads.max(), longest) / mean
+    return ImbalanceStats(
+        factor=float(max(factor, 1.0)),
+        max_load=float(max(loads.max(), longest)),
+        mean_load=float(mean),
+        n_workers=n_workers,
+    )
+
+
+def lockstep_channel_imbalance_fast(
+    row_lengths: np.ndarray, n_channels: int = 16
+) -> ImbalanceStats:
+    """Vectorised twin of :func:`lockstep_channel_imbalance` (zero-padded
+    reshape instead of the modulo bincount)."""
+    n_rows = len(row_lengths)
+    if n_rows == 0:
+        return ImbalanceStats(1.0, 0.0, 0.0, n_channels)
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    n_pad = (-n_rows) % n_channels
+    if n_pad:
+        lengths = np.concatenate([lengths, np.zeros(n_pad, dtype=np.int64)])
+    loads = lengths.reshape(-1, n_channels).sum(axis=0)
+    return ImbalanceStats.from_loads(loads)
+
+
 PARTITION_STRATEGIES = {
     "row_block": row_block_partition,
     "nnz_row": nnz_balanced_rows,
@@ -238,3 +377,37 @@ def imbalance_for_strategy(
             f"{sorted(PARTITION_STRATEGIES)}"
         ) from None
     return fn(row_lengths, n_workers)
+
+
+def imbalance_for_strategy_fast(
+    strategy: str,
+    row_lengths: np.ndarray,
+    n_workers: int,
+    simd_width: int = 32,
+    csum: np.ndarray = None,
+    sell_widths: np.ndarray = None,
+    warp_cycles: np.ndarray = None,
+) -> ImbalanceStats:
+    """Like :func:`imbalance_for_strategy`, routed through the vectorised
+    twins where they exist and sharing the profile's worker-independent
+    precomputations — the integer prefix-sum (``csum``) across the
+    contiguous-block partitioners, the SELL chunk widths
+    (``sell_widths``) and the warp-cycle counts (``warp_cycles``).
+    Bit-identical results — the fused cold path's dispatcher."""
+    if strategy == "warp_row":
+        return warp_per_row_fast(
+            row_lengths, n_workers, simd_width, cycles=warp_cycles
+        )
+    if strategy == "sell_chunk":
+        return sell_chunk_imbalance_fast(
+            row_lengths, n_workers, widths=sell_widths
+        )
+    if strategy == "lockstep_channel":
+        return lockstep_channel_imbalance_fast(row_lengths, n_workers)
+    if strategy == "row_block":
+        return row_block_partition(row_lengths, n_workers, csum=csum)
+    if strategy == "nnz_row":
+        return nnz_balanced_rows(row_lengths, n_workers, csum=csum)
+    return imbalance_for_strategy(
+        strategy, row_lengths, n_workers, simd_width
+    )

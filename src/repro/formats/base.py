@@ -14,11 +14,12 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix
+from ..core.matrix import CSRMatrix, CSRStructBatch
 
 __all__ = [
     "SparseFormat",
     "FormatStats",
+    "FormatStatsBatch",
     "FormatError",
     "CapacityError",
     "register_format",
@@ -76,6 +77,78 @@ class FormatStats:
         return self.padding_elements / useful if useful else 0.0
 
 
+@dataclass
+class FormatStatsBatch:
+    """Columnar :class:`FormatStats` for a chunk of matrices.
+
+    One entry per matrix of a :class:`~repro.core.matrix.CSRStructBatch`.
+    Refusals are carried in-band: ``fail[i]`` marks matrices the format
+    rejected and ``fail_reason[i]`` holds the exact :class:`FormatError`
+    message the scalar path would have raised — the fused sweep replays
+    both, so skip reasons stay bit-identical to the instance path.
+    """
+
+    stored_elements: np.ndarray
+    padding_elements: np.ndarray
+    memory_bytes: np.ndarray
+    metadata_bytes: np.ndarray
+    balance_aware: np.ndarray
+    simd_friendly: np.ndarray
+    fail: np.ndarray
+    fail_reason: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.stored_elements = np.asarray(
+            self.stored_elements, dtype=np.int64
+        )
+        self.padding_elements = np.asarray(
+            self.padding_elements, dtype=np.int64
+        )
+        self.memory_bytes = np.asarray(self.memory_bytes, dtype=np.int64)
+        self.metadata_bytes = np.asarray(self.metadata_bytes, dtype=np.int64)
+        self.balance_aware = np.asarray(self.balance_aware, dtype=bool)
+        self.simd_friendly = np.asarray(self.simd_friendly, dtype=bool)
+        self.fail = np.asarray(self.fail, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.stored_elements)
+
+    @classmethod
+    def empty(cls, n: int) -> "FormatStatsBatch":
+        """All-zero batch of size ``n`` (filled entry by entry)."""
+        return cls(
+            stored_elements=np.zeros(n, dtype=np.int64),
+            padding_elements=np.zeros(n, dtype=np.int64),
+            memory_bytes=np.zeros(n, dtype=np.int64),
+            metadata_bytes=np.zeros(n, dtype=np.int64),
+            balance_aware=np.zeros(n, dtype=bool),
+            simd_friendly=np.zeros(n, dtype=bool),
+            fail=np.zeros(n, dtype=bool),
+        )
+
+    def put(self, i: int, st: FormatStats) -> None:
+        """Store one scalar result at position ``i``."""
+        self.stored_elements[i] = st.stored_elements
+        self.padding_elements[i] = st.padding_elements
+        self.memory_bytes[i] = st.memory_bytes
+        self.metadata_bytes[i] = st.metadata_bytes
+        self.balance_aware[i] = st.balance_aware
+        self.simd_friendly[i] = st.simd_friendly
+
+    def stats(self, i: int) -> FormatStats:
+        """Scalar view of entry ``i``; replays the stored refusal."""
+        if self.fail[i]:
+            raise FormatError(self.fail_reason[i])
+        return FormatStats(
+            stored_elements=int(self.stored_elements[i]),
+            padding_elements=int(self.padding_elements[i]),
+            memory_bytes=int(self.memory_bytes[i]),
+            metadata_bytes=int(self.metadata_bytes[i]),
+            balance_aware=bool(self.balance_aware[i]),
+            simd_friendly=bool(self.simd_friendly[i]),
+        )
+
+
 class SparseFormat(abc.ABC):
     """Abstract sparse storage format.
 
@@ -119,6 +192,37 @@ class SparseFormat(abc.ABC):
         keep working unchanged.
         """
         return cls.from_csr(mat).stats()
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls,
+        batch: CSRStructBatch,
+        matrices=None,
+    ) -> FormatStatsBatch:
+        """Batched analytic statistics for a whole structure chunk.
+
+        The fused cold path calls this once per format per chunk.  Hot
+        formats override it with vectorised column math over the stacked
+        structure arrays; this default is the per-instance fallback — it
+        scores each matrix through :meth:`stats_from_csr` and folds
+        refusals into the batch's ``fail``/``fail_reason`` fields, so
+        fallback formats produce the same columns (and the same error
+        messages) as the scalar path, just one matrix at a time.
+
+        ``matrices`` optionally supplies pre-materialised per-chunk
+        :class:`CSRMatrix` views (the fused driver shares one set across
+        every fallback format); otherwise each is built from the batch.
+        """
+        n = len(batch)
+        out = FormatStatsBatch.empty(n)
+        for i in range(n):
+            mat = matrices[i] if matrices is not None else batch.matrix(i)
+            try:
+                out.put(i, cls.stats_from_csr(mat))
+            except FormatError as exc:
+                out.fail[i] = True
+                out.fail_reason[i] = str(exc)
+        return out
 
     @classmethod
     def stats_at_density_from_csr(

@@ -9,11 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix, csr_from_coo
+from ..core.matrix import CSRMatrix, CSRStructBatch, csr_from_coo
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -70,6 +71,24 @@ class COO(SparseFormat):
     @classmethod
     def stats_from_csr(cls, mat: CSRMatrix) -> FormatStats:
         return cls._coo_stats(mat.nnz)
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Pure column math: triplet storage for the chunk (never refuses)."""
+        n = len(batch)
+        nnz = batch.nnz
+        meta = 2 * nnz * INDEX_BYTES
+        return FormatStatsBatch(
+            stored_elements=nnz,
+            padding_elements=np.zeros(n, dtype=np.int64),
+            memory_bytes=meta + nnz * VALUE_BYTES,
+            metadata_bytes=meta,
+            balance_aware=np.ones(n, dtype=bool),
+            simd_friendly=np.zeros(n, dtype=bool),
+            fail=np.zeros(n, dtype=bool),
+        )
 
     @staticmethod
     def _coo_stats(nnz: int) -> FormatStats:

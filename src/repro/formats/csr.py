@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix
+from ..core.matrix import CSRMatrix, CSRStructBatch
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -62,6 +63,28 @@ class _CSRBase(SparseFormat):
     @classmethod
     def stats_from_csr(cls, mat: CSRMatrix) -> FormatStats:
         return cls._csr_stats(mat.n_rows, mat.nnz)
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Vectorised `_csr_stats` over the whole chunk (never refuses)."""
+        nnz = batch.nnz
+        meta = (nnz + batch.n_rows + 1) * INDEX_BYTES
+        n = len(batch)
+        return FormatStatsBatch(
+            stored_elements=nnz,
+            padding_elements=np.zeros(n, dtype=np.int64),
+            memory_bytes=meta + nnz * VALUE_BYTES,
+            metadata_bytes=meta,
+            balance_aware=np.full(
+                n, cls.STATS_FLAGS["balance_aware"], dtype=bool
+            ),
+            simd_friendly=np.full(
+                n, cls.STATS_FLAGS["simd_friendly"], dtype=bool
+            ),
+            fail=np.zeros(n, dtype=bool),
+        )
 
     @property
     def shape(self):

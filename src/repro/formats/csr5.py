@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix, csr_from_coo
+from ..core.matrix import CSRMatrix, CSRStructBatch, csr_from_coo
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -72,6 +73,28 @@ class CSR5(SparseFormat):
             metadata_bytes=csr_meta + desc_bytes,
             balance_aware=True,
             simd_friendly=True,
+        )
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Pure column math: tile-descriptor stats for the whole chunk."""
+        n = len(batch)
+        nnz = batch.nnz
+        tile_nnz = cls.OMEGA * cls.SIGMA
+        n_tiles = (nnz + tile_nnz - 1) // tile_nnz
+        desc_bits = n_tiles * (tile_nnz + 2 * cls.OMEGA * 32)
+        csr_meta = (nnz + batch.n_rows + 1) * INDEX_BYTES
+        desc_bytes = (desc_bits + 7) // 8 + n_tiles * INDEX_BYTES
+        return FormatStatsBatch(
+            stored_elements=nnz,
+            padding_elements=np.zeros(n, dtype=np.int64),
+            memory_bytes=nnz * VALUE_BYTES + csr_meta + desc_bytes,
+            metadata_bytes=csr_meta + desc_bytes,
+            balance_aware=np.ones(n, dtype=bool),
+            simd_friendly=np.ones(n, dtype=bool),
+            fail=np.zeros(n, dtype=bool),
         )
 
     def to_csr(self) -> CSRMatrix:

@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix, csr_from_coo
+from ..core.matrix import CSRMatrix, CSRStructBatch, csr_from_coo
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatError,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -95,6 +96,42 @@ class DIA(SparseFormat):
             balance_aware=True,
             simd_friendly=True,
         )
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Per-matrix diagonal counts straight from the structure arrays
+        (one ``np.unique`` each, no :class:`CSRMatrix` materialisation)."""
+        n = len(batch)
+        nnz = batch.nnz
+        out = FormatStatsBatch.empty(n)
+        out.balance_aware[:] = True
+        out.simd_friendly[:] = True
+        for i in range(n):
+            z = int(nnz[i])
+            if z == 0:
+                continue
+            n_rows = int(batch.n_rows[i])
+            rows = np.repeat(
+                np.arange(n_rows, dtype=np.int64), batch.lengths_of(i)
+            )
+            offs = batch.indices_of(i).astype(np.int64) - rows
+            n_uniq = len(np.unique(offs))
+            stored = n_uniq * n_rows
+            if stored > cls.DEFAULT_MAX_BLOWUP * z:
+                out.fail[i] = True
+                out.fail_reason[i] = (
+                    f"DIA needs {n_uniq} diagonals "
+                    f"({stored / z:.1f}x blowup > "
+                    f"{cls.DEFAULT_MAX_BLOWUP}x)"
+                )
+                continue
+            out.stored_elements[i] = stored
+            out.padding_elements[i] = stored - z
+            out.memory_bytes[i] = stored * VALUE_BYTES + n_uniq * INDEX_BYTES
+            out.metadata_bytes[i] = n_uniq * INDEX_BYTES
+        return out
 
     def to_csr(self) -> CSRMatrix:
         d, rows = np.nonzero(self.diags != 0.0)

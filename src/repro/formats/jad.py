@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix, csr_from_coo
+from ..core.matrix import CSRMatrix, CSRStructBatch, csr_from_coo
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -100,6 +101,29 @@ class JAD(SparseFormat):
             metadata_bytes=meta,
             balance_aware=True,
             simd_friendly=True,
+        )
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Vectorised jagged-diagonal stats over the chunk (never refuses)."""
+        n = len(batch)
+        nnz = batch.nnz
+        n_diag = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            seg = batch.lengths_of(i)
+            if len(seg) and nnz[i]:
+                n_diag[i] = seg.max()
+        meta = (nnz + n_diag + 1 + batch.n_rows) * INDEX_BYTES
+        return FormatStatsBatch(
+            stored_elements=nnz,
+            padding_elements=np.zeros(n, dtype=np.int64),
+            memory_bytes=nnz * VALUE_BYTES + meta,
+            metadata_bytes=meta,
+            balance_aware=np.ones(n, dtype=bool),
+            simd_friendly=np.ones(n, dtype=bool),
+            fail=np.zeros(n, dtype=bool),
         )
 
     def to_csr(self) -> CSRMatrix:

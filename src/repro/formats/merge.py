@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix
+from ..core.matrix import CSRMatrix, CSRStructBatch
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -113,6 +114,25 @@ class MergeCSR(SparseFormat):
             metadata_bytes=meta,
             balance_aware=True,   # equal merge-path diagonals by design
             simd_friendly=False,
+        )
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Pure column math: plain CSR storage for the chunk, schedule-time
+        merge-path metadata adds nothing stored (never refuses)."""
+        n = len(batch)
+        nnz = batch.nnz
+        meta = (nnz + batch.n_rows + 1) * INDEX_BYTES
+        return FormatStatsBatch(
+            stored_elements=nnz,
+            padding_elements=np.zeros(n, dtype=np.int64),
+            memory_bytes=nnz * VALUE_BYTES + meta,
+            metadata_bytes=meta,
+            balance_aware=np.ones(n, dtype=bool),
+            simd_friendly=np.zeros(n, dtype=bool),
+            fail=np.zeros(n, dtype=bool),
         )
 
     @property

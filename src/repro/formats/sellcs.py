@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.matrix import CSRMatrix, csr_from_coo
+from ..core.matrix import CSRMatrix, CSRStructBatch, csr_from_coo
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
     FormatStats,
+    FormatStatsBatch,
     SparseFormat,
     register_format,
 )
@@ -212,6 +213,39 @@ class SELLCSigma(SparseFormat):
             metadata_bytes=meta,
             balance_aware=False,
             simd_friendly=True,
+        )
+
+    @classmethod
+    def stats_from_csr_batch(
+        cls, batch: CSRStructBatch, matrices=None
+    ) -> FormatStatsBatch:
+        """Window-sorted padding stats per matrix, straight from the
+        stacked row-length segments (never refuses)."""
+        C, sigma = cls.DEFAULT_C, cls.DEFAULT_SIGMA
+        n = len(batch)
+        nnz = batch.nnz
+        stored = np.zeros(n, dtype=np.int64)
+        n_chunks = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            widths = cls._chunk_widths_of_lengths(
+                batch.lengths_of(i), C, sigma
+            )
+            n_chunks[i] = len(widths)
+            stored[i] = int(widths.sum()) * C
+        meta = (
+            stored * INDEX_BYTES
+            + (n_chunks + 1) * INDEX_BYTES
+            + n_chunks * INDEX_BYTES
+            + batch.n_rows * INDEX_BYTES
+        )
+        return FormatStatsBatch(
+            stored_elements=stored,
+            padding_elements=stored - nnz,
+            memory_bytes=stored * VALUE_BYTES + meta,
+            metadata_bytes=meta,
+            balance_aware=np.zeros(n, dtype=bool),
+            simd_friendly=np.ones(n, dtype=bool),
+            fail=np.zeros(n, dtype=bool),
         )
 
     def stats(self) -> FormatStats:

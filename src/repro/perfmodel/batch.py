@@ -277,6 +277,86 @@ def _device_formats(
     return [list(dev.formats) for dev in devices]
 
 
+class _InstanceSource:
+    """:func:`_score_grid`'s view of a list of :class:`MatrixInstance`.
+
+    The scoring kernel pulls everything about the matrix axis through this
+    narrow interface — names, per-instance scalars, per-format stat
+    columns, and lazily-requested SIMD utilisation / imbalance factors —
+    so the fused cold path (:mod:`repro.perfmodel.fused`) can drive the
+    identical kernel from columnar spec data without ever materialising
+    instances.  This adapter reproduces the historical per-instance loops
+    exactly, memoisation semantics included.
+    """
+
+    def __init__(self, instances: Sequence[MatrixInstance]):
+        self.instances = list(instances)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def names(self) -> List[str]:
+        return [inst.name for inst in self.instances]
+
+    def scalar_arrays(self) -> Tuple[np.ndarray, ...]:
+        """``(scale, nnz, n_rows, n_cols, neigh, sim, noise_hash)``."""
+        n = len(self.instances)
+        i_scale = np.empty(n)
+        i_nnz = np.empty(n, dtype=np.int64)
+        i_rows = np.empty(n, dtype=np.int64)
+        i_cols = np.empty(n, dtype=np.int64)
+        i_neigh = np.empty(n)
+        i_sim = np.empty(n)
+        i_noise_h = np.empty(n, dtype=np.uint64)
+        for i, inst in enumerate(self.instances):
+            i_scale[i] = inst.scale
+            i_nnz[i] = inst.nnz
+            i_rows[i] = inst.n_rows
+            i_cols[i] = inst.n_cols
+            feats = inst.features
+            i_neigh[i] = feats.avg_num_neighbours
+            i_sim[i] = feats.cross_row_similarity
+            key = inst.name or (inst.n_rows, inst.n_cols, inst.nnz)
+            i_noise_h[i] = component_hash(key)
+        return i_scale, i_nnz, i_rows, i_cols, i_neigh, i_sim, i_noise_h
+
+    def format_stats_columns(
+        self, name: str
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+               np.ndarray, np.ndarray, Dict[int, str]]:
+        """Stat columns ``(mem, meta, stored, pad_ratio, friendly, fail,
+        reasons)`` of one format across all instances."""
+        n = len(self.instances)
+        mem = np.zeros(n, dtype=np.int64)
+        meta = np.zeros(n, dtype=np.int64)
+        stored = np.zeros(n, dtype=np.int64)
+        pad = np.zeros(n)
+        friendly = np.zeros(n, dtype=bool)
+        fail = np.zeros(n, dtype=bool)
+        reasons: Dict[int, str] = {}
+        for i, inst in enumerate(self.instances):
+            try:
+                stats = inst.format_stats(name)
+            except FormatError as exc:
+                fail[i] = True
+                reasons[i] = str(exc)
+                continue
+            mem[i] = stats.memory_bytes
+            meta[i] = stats.metadata_bytes
+            stored[i] = stats.stored_elements
+            pad[i] = stats.padding_ratio
+            friendly[i] = stats.simd_friendly
+        return mem, meta, stored, pad, friendly, fail, reasons
+
+    def simd_utilisation(self, i: int, width: int) -> float:
+        return self.instances[i].simd_utilisation(width)
+
+    def imbalance_factor(
+        self, i: int, strategy: str, workers: int, width: int
+    ) -> float:
+        return self.instances[i].imbalance(strategy, workers, width).factor
+
+
 def simulate_grid(
     instances: Sequence[MatrixInstance],
     devices: Sequence[Device],
@@ -294,7 +374,26 @@ def simulate_grid(
     bit-identical to the scalar call.  ``formats=None`` uses each
     device's Table-II list; an explicit list applies to every device.
     """
-    instances = list(instances)
+    return _score_grid(
+        _InstanceSource(instances), devices, formats, precisions,
+        seed, noise_sigma,
+    )
+
+
+def _score_grid(
+    source,
+    devices: Sequence[Device],
+    formats: Optional[Sequence[str]] = None,
+    precisions: Sequence[str] = ("fp64",),
+    seed: int = 0,
+    noise_sigma: Optional[float] = None,
+) -> GridResult:
+    """Score the grid for any matrix-axis ``source``.
+
+    ``source`` follows the :class:`_InstanceSource` protocol; everything
+    below this line is matrix-representation agnostic, so the fused cold
+    path produces bit-identical cells by construction.
+    """
     devices = list(devices)
     precisions = tuple(precisions)
     for prec in precisions:
@@ -314,7 +413,7 @@ def simulate_grid(
                 fmt_index[name] = len(fmt_index)
     format_names = list(fmt_index)
 
-    n_inst, n_dev, n_fmt = len(instances), len(devices), len(format_names)
+    n_inst, n_dev, n_fmt = len(source), len(devices), len(format_names)
     n_prec = len(precisions)
 
     # -- (device, format) cell skeleton: one block per (prec, instance) --
@@ -331,7 +430,7 @@ def simulate_grid(
     df_fmt_arr = np.asarray(df_fmt, dtype=np.int64)
     n_df = len(df_dev)
 
-    instance_names = [inst.name for inst in instances]
+    instance_names = source.names()
     device_names = [dev.name for dev in devices]
 
     empty = GridResult(
@@ -342,29 +441,14 @@ def simulate_grid(
         precisions=precisions,
         skip_reasons={},
         device_slices=device_slices,
-        instances=instances,
+        instances=source.instances,
     )
     if n_inst == 0 or n_df == 0:
         return empty
 
     # -- per-instance scalars ------------------------------------------
-    i_scale = np.empty(n_inst)
-    i_nnz = np.empty(n_inst, dtype=np.int64)
-    i_rows = np.empty(n_inst, dtype=np.int64)
-    i_cols = np.empty(n_inst, dtype=np.int64)
-    i_neigh = np.empty(n_inst)
-    i_sim = np.empty(n_inst)
-    i_noise_h = np.empty(n_inst, dtype=np.uint64)
-    for i, inst in enumerate(instances):
-        i_scale[i] = inst.scale
-        i_nnz[i] = inst.nnz
-        i_rows[i] = inst.n_rows
-        i_cols[i] = inst.n_cols
-        feats = inst.features
-        i_neigh[i] = feats.avg_num_neighbours
-        i_sim[i] = feats.cross_row_similarity
-        key = inst.name or (inst.n_rows, inst.n_cols, inst.nnz)
-        i_noise_h[i] = component_hash(key)
+    (i_scale, i_nnz, i_rows, i_cols, i_neigh, i_sim,
+     i_noise_h) = source.scalar_arrays()
 
     # -- per-(instance, format) structural statistics ------------------
     s_mem = np.zeros((n_inst, n_fmt), dtype=np.int64)
@@ -376,19 +460,11 @@ def simulate_grid(
     fail_reason: Dict[Tuple[int, int], str] = {}
     used_fmt = sorted(set(df_fmt))
     for g in used_fmt:
-        name = format_names[g]
-        for i, inst in enumerate(instances):
-            try:
-                stats = inst.format_stats(name)
-            except FormatError as exc:
-                s_fail[i, g] = True
-                fail_reason[(i, g)] = str(exc)
-                continue
-            s_mem[i, g] = stats.memory_bytes
-            s_meta[i, g] = stats.metadata_bytes
-            s_stored[i, g] = stats.stored_elements
-            s_pad[i, g] = stats.padding_ratio
-            s_friendly[i, g] = stats.simd_friendly
+        (s_mem[:, g], s_meta[:, g], s_stored[:, g], s_pad[:, g],
+         s_friendly[:, g], s_fail[:, g],
+         reasons) = source.format_stats_columns(format_names[g])
+        for i, msg in reasons.items():
+            fail_reason[(i, g)] = msg
 
     # -- per-device parameter arrays (derived exactly as the scalar
     #    path computes them, so every denominator matches bit-for-bit) --
@@ -481,10 +557,10 @@ def simulate_grid(
     need_cells = friendly_df & scoreable_df
     for k in range(len(widths)):
         need_w[:, k] = need_cells[:, cell_w_pos == k].any(axis=1)
-    for i, inst in enumerate(instances):
+    for i in range(n_inst):
         for w, k in width_pos.items():
             if need_w[i, k]:
-                util_tab[i, k] = inst.simd_utilisation(w)
+                util_tab[i, k] = source.simd_utilisation(i, w)
     util_df = util_tab[:, cell_w_pos]                # (n_inst, n_df)
     inv_w_df = d_inv_width[df_dev_arr]
     simd_util_df = np.where(
@@ -512,12 +588,12 @@ def simulate_grid(
     need_key = np.zeros((n_inst, len(df_keys)), dtype=bool)
     for k in range(len(df_keys)):
         need_key[:, k] = scoreable_df[:, df_key_idx == k].any(axis=1)
-    for i, inst in enumerate(instances):
+    for i in range(n_inst):
         for k, (strategy, workers, width) in enumerate(df_keys):
             if need_key[i, k]:
-                imb_tab[i, k] = inst.imbalance(
-                    strategy, workers, width
-                ).factor
+                imb_tab[i, k] = source.imbalance_factor(
+                    i, strategy, workers, width
+                )
     imb_df = imb_tab[:, df_key_idx]                  # (n_inst, n_df)
 
     # -- broadcast blocks ----------------------------------------------
@@ -697,5 +773,5 @@ def simulate_grid(
         precisions=precisions,
         skip_reasons=skip_reasons,
         device_slices=device_slices,
-        instances=instances,
+        instances=source.instances,
     )

@@ -1,0 +1,286 @@
+"""Fused cold-path sweeps: spec chunks scored without instances.
+
+The instance cold path materialises one :class:`MatrixInstance` per spec
+(value arrays included), computes format statistics one matrix at a time
+and only then enters the vectorised grid scorer.  This module feeds the
+same scorer (:func:`repro.perfmodel.batch._score_grid`) straight from a
+chunk of :class:`~repro.core.generator.MatrixSpec`:
+
+1. :func:`~repro.core.generator.structure_batch` emits the chunk's raw
+   CSR *structure* arrays (the value draw is the last RNG use of every
+   generation engine, so skipping it leaves the structure bit-identical);
+2. :meth:`~repro.formats.base.SparseFormat.stats_from_csr_batch` turns
+   the stacked structure into per-format stat columns — vectorised
+   overrides for the closed-form formats, scalar fallback (on zero-data
+   matrices) for the rest;
+3. SIMD utilisation and imbalance factors come from the shared
+   row-length profile through histogram/prefix-sum twins
+   (:func:`~repro.devices.parallel.imbalance_for_strategy_fast`).
+
+Every expression mirrors the :class:`MatrixInstance` computation
+operation-for-operation, so the fused sweep is **row-for-row
+bit-identical** to the instance path — same measurements, same noise,
+same skip reasons, same category order.  The agreement suite in
+``tests/pipeline/test_fused_agreement.py`` locks that down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.features import Features, extract_features
+from ..core.generator import MatrixSpec, row_length_profile, structure_batch
+from ..core.matrix import CSRMatrix, CSRStructBatch
+from ..devices.parallel import imbalance_for_strategy_fast, sell_chunk_widths
+from ..formats.base import FormatError, FormatStatsBatch, get_format
+from .instance import MAX_PROFILE_ROWS
+from .noise import component_hash
+
+__all__ = ["FusedSpecSource"]
+
+# Strategies whose fast twins share the profile's integer prefix sum.
+_CSUM_STRATEGIES = ("row_block", "nnz_row")
+
+
+class FusedSpecSource:
+    """Matrix-axis source for ``_score_grid`` built from specs alone.
+
+    Implements the :class:`repro.perfmodel.batch._InstanceSource`
+    protocol.  The chunk's CSR structure is generated once
+    (:func:`structure_batch`); declared-scale scalars, features, format
+    statistics, SIMD utilisation and imbalance factors are then derived
+    columnar where closed forms exist and from memoised zero-data
+    matrices where they don't — never from value payloads.
+    """
+
+    # ``GridResult.instances`` stays empty on the fused path; the table
+    # assembly gathers feature columns from this source instead.
+    instances: Tuple = ()
+
+    def __init__(
+        self,
+        specs: Sequence[MatrixSpec],
+        names: Sequence[str],
+        max_nnz: Optional[int] = None,
+        batch: Optional[CSRStructBatch] = None,
+    ):
+        self.specs = list(specs)
+        self._names = list(names)
+        if len(self._names) != len(self.specs):
+            raise ValueError("one name per spec required")
+        self.max_nnz = max_nnz
+        self.batch = (
+            structure_batch(self.specs, max_nnz=max_nnz)
+            if batch is None else batch
+        )
+        if len(self.batch) != len(self.specs):
+            raise ValueError("structure batch does not match the specs")
+
+        # Declared-scale scalars, columnar (MatrixInstance.scale / .nnz).
+        self._decl_rows = np.array(
+            [s.n_rows for s in self.specs], dtype=np.int64
+        )
+        self._decl_cols = np.array(
+            [s.n_cols for s in self.specs], dtype=np.int64
+        )
+        self.scale = np.maximum(
+            1.0, self._decl_rows / np.maximum(self.batch.n_rows, 1)
+        )
+        self.nnz = np.round(self.batch.nnz * self.scale).astype(np.int64)
+
+        self._mats: Dict[int, CSRMatrix] = {}
+        self._feats: Dict[int, Features] = {}
+        self._profiles: Dict[int, np.ndarray] = {}
+        self._csums: Dict[int, np.ndarray] = {}
+        self._hists: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._sell_widths: Dict[int, np.ndarray] = {}
+        self._warp_cycles: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def names(self) -> List[str]:
+        return list(self._names)
+
+    # -- memoised per-spec structure ----------------------------------
+    def matrix(self, i: int) -> CSRMatrix:
+        """Zero-data representative matrix ``i`` (structure-only users)."""
+        if i not in self._mats:
+            self._mats[i] = self.batch.matrix(i)
+        return self._mats[i]
+
+    def features(self, i: int) -> Features:
+        """Measured features at declared scale (``MatrixInstance.features``)."""
+        if i not in self._feats:
+            measured = extract_features(self.matrix(i))
+            nnz = int(self.nnz[i])
+            n_rows = int(self._decl_rows[i])
+            self._feats[i] = replace(
+                measured,
+                mem_footprint_mb=(
+                    (nnz * 12.0 + (n_rows + 1) * 4.0) / (1024 ** 2)
+                ),
+                n_rows=n_rows,
+                n_cols=int(self._decl_cols[i]),
+                nnz=nnz,
+            )
+        return self._feats[i]
+
+    def profile(self, i: int) -> np.ndarray:
+        """Row-length profile at declared scale (``row_profile``)."""
+        if i not in self._profiles:
+            spec = self.specs[i]
+            if self.scale[i] <= 1.0:
+                self._profiles[i] = self.batch.lengths_of(i)
+            else:
+                rows = min(spec.n_rows, MAX_PROFILE_ROWS)
+                rng = np.random.default_rng(spec.seed)
+                self._profiles[i] = row_length_profile(
+                    rows,
+                    spec.n_cols,
+                    spec.avg_nnz_per_row,
+                    spec.std_ratio * spec.avg_nnz_per_row,
+                    spec.skew_coeff,
+                    rng,
+                    spec.distribution,
+                )
+        return self._profiles[i]
+
+    def _csum(self, i: int) -> np.ndarray:
+        if i not in self._csums:
+            self._csums[i] = np.concatenate(
+                ([0], np.cumsum(self.profile(i)))
+            )
+        return self._csums[i]
+
+    def _hist(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, counts) histogram of the positive profile lengths.
+
+        ``bincount`` is O(n_rows + max_len) against ``np.unique``'s
+        O(n_rows log n_rows) sort and yields the same ascending
+        (values, counts) pairs; the sort stays as the fallback for
+        profiles whose maximum row length would make the count array
+        larger than the profile itself.
+        """
+        if i not in self._hists:
+            prof = self.profile(i)
+            max_len = int(prof.max()) if len(prof) else 0
+            if 0 < max_len <= max(4 * len(prof), 1024):
+                counts = np.bincount(prof)
+                vals = np.nonzero(counts)[0]
+                if len(vals) and vals[0] == 0:
+                    vals = vals[1:]
+                self._hists[i] = (vals, counts[vals])
+            else:
+                self._hists[i] = np.unique(
+                    prof[prof > 0], return_counts=True
+                )
+        return self._hists[i]
+
+    # -- _InstanceSource protocol -------------------------------------
+    def scalar_arrays(self) -> Tuple[np.ndarray, ...]:
+        n = len(self.specs)
+        i_neigh = np.empty(n)
+        i_sim = np.empty(n)
+        i_noise_h = np.empty(n, dtype=np.uint64)
+        for i in range(n):
+            feats = self.features(i)
+            i_neigh[i] = feats.avg_num_neighbours
+            i_sim[i] = feats.cross_row_similarity
+            key = self._names[i] or (
+                int(self._decl_rows[i]), int(self._decl_cols[i]),
+                int(self.nnz[i]),
+            )
+            i_noise_h[i] = component_hash(key)
+        return (
+            self.scale.astype(np.float64, copy=True),
+            self.nnz.copy(),
+            self._decl_rows.copy(),
+            self._decl_cols.copy(),
+            i_neigh,
+            i_sim,
+            i_noise_h,
+        )
+
+    def format_stats_columns(
+        self, name: str
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+               np.ndarray, np.ndarray, Dict[int, str]]:
+        n = len(self.specs)
+        cls = get_format(name)
+        if hasattr(cls, "stats_at_density"):
+            # Density-corrected formats decide per matrix whether the
+            # rectangular representative dilutes the per-column
+            # population — same branch as MatrixInstance.format_stats.
+            fsb = FormatStatsBatch.empty(n)
+            for i in range(n):
+                mat = self.matrix(i)
+                rep_density = mat.nnz / max(mat.n_cols, 1)
+                dec_density = int(self.nnz[i]) / max(
+                    int(self._decl_cols[i]), 1
+                )
+                cell_density = None
+                if rep_density > 0 and (
+                    abs(dec_density / rep_density - 1.0) > 0.05
+                ):
+                    cell_density = dec_density / cls.N_CHANNELS
+                try:
+                    stats = (
+                        cls.stats_at_density_from_csr(mat, cell_density)
+                        if cell_density is not None
+                        else cls.stats_from_csr(mat)
+                    )
+                except FormatError as exc:
+                    fsb.fail[i] = True
+                    fsb.fail_reason[i] = str(exc)
+                    continue
+                fsb.put(i, stats)
+        else:
+            mats = [self.matrix(i) for i in range(n)]
+            fsb = cls.stats_from_csr_batch(self.batch, matrices=mats)
+        useful = fsb.stored_elements - fsb.padding_elements
+        pad = np.zeros(n)
+        nz = useful != 0
+        pad[nz] = fsb.padding_elements[nz] / useful[nz]
+        return (
+            fsb.memory_bytes, fsb.metadata_bytes, fsb.stored_elements,
+            pad, fsb.simd_friendly, fsb.fail, fsb.fail_reason,
+        )
+
+    def simd_utilisation(self, i: int, width: int) -> float:
+        if width <= 1:
+            return 1.0
+        vals, cnts = self._hist(i)
+        if len(vals) == 0:
+            return 1.0
+        issued = (np.ceil(vals / width) * width * cnts).sum()
+        return float((vals * cnts).sum() / issued)
+
+    def imbalance_factor(
+        self, i: int, strategy: str, workers: int, width: int
+    ) -> float:
+        """Imbalance via the fast dispatcher, sharing the profile's
+        worker-independent precomputations: the prefix sum for the
+        contiguous-block partitioners, the SELL chunk widths (one sort
+        pipeline per profile instead of one per worker count) and the
+        per-width warp-cycle counts."""
+        csum = sell = cycles = None
+        if strategy in _CSUM_STRATEGIES:
+            csum = self._csum(i)
+        elif strategy == "sell_chunk":
+            if i not in self._sell_widths:
+                self._sell_widths[i] = sell_chunk_widths(self.profile(i))
+            sell = self._sell_widths[i]
+        elif strategy == "warp_row":
+            key = (i, width)
+            if key not in self._warp_cycles:
+                prof = self.profile(i)
+                self._warp_cycles[key] = (prof + width - 1) // width
+            cycles = self._warp_cycles[key]
+        return imbalance_for_strategy_fast(
+            strategy, self.profile(i), workers, width,
+            csum=csum, sell_widths=sell, warp_cycles=cycles,
+        ).factor

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from typing import Callable, List, Optional, Sequence
 
 from ..core.dataset import (
-    Dataset, SweepTable, grid_spec_table, spec_rows,
+    Dataset, SweepTable, fused_spec_table, grid_spec_table, spec_rows,
 )
 from ..devices.base import Device
 from .cache import InstanceCache
@@ -70,6 +71,7 @@ def _sweep_range(
     cache: Optional[InstanceCache],
     batch: bool = True,
     precision: str = "fp64",
+    fused: bool = False,
 ) -> SweepTable:
     """Columnar chunk table for specs ``lo..hi`` with cache write-back.
 
@@ -77,22 +79,35 @@ def _sweep_range(
     :func:`~repro.perfmodel.batch.simulate_grid` pass and the columns
     are gathered straight from the grid arrays; the scalar loop stays
     available as the reference engine (``batch=False``), its dict rows
-    lifted into the same table schema.  Both produce identical tables —
-    the grid agreement suite enforces it.
+    lifted into the same table schema.  ``fused`` (batch only) skips
+    instances entirely — specs go straight to structure arrays and
+    batched analytic stats, and the instance cache is neither read nor
+    written (there is nothing materialised to persist).  All engines
+    produce identical tables — the grid and fused agreement suites
+    enforce it.
     """
-    if batch:
-        table = grid_spec_table(
+    if fused:
+        return fused_spec_table(
             dataset, lo, hi, devices,
             best_only=best_only, formats=formats, seed=seed,
             precision=precision,
+        )
+    if batch:
+        # Materialise the chunk once; scoring and cache write-back reuse
+        # these exact objects (a second dataset.instance() round-trip
+        # used to re-consult the cache layer per spec).
+        insts = [dataset.instance(i) for i in range(lo, hi)]
+        table = grid_spec_table(
+            dataset, lo, hi, devices,
+            best_only=best_only, formats=formats, seed=seed,
+            precision=precision, instances=insts,
         )
         if cache is not None:
             # Store after scoring so the persisted entries carry the
             # derived state (features, profiles, format stats) the grid
             # evaluation just computed — warm sweeps reload it all.
-            for i in range(lo, hi):
-                cache.store(dataset.specs[i], dataset.max_nnz,
-                            dataset.instance(i))
+            for i, inst in zip(range(lo, hi), insts):
+                cache.store(dataset.specs[i], dataset.max_nnz, inst)
         return table
     rows: List[dict] = []
     for i in range(lo, hi):
@@ -116,24 +131,39 @@ _WORKER: dict = {}
 
 
 def _init_worker(specs, max_nnz, name, devices, best_only, formats, seed,
-                 cache_dir, batch, precision) -> None:
+                 cache_dir, batch, precision, fused,
+                 progress_queue=None) -> None:
     cache = InstanceCache(cache_dir) if cache_dir else None
     _WORKER["dataset"] = Dataset(
         specs, max_nnz=max_nnz, name=name, cache=cache
     )
     _WORKER["args"] = (
-        devices, best_only, formats, seed, cache, batch, precision
+        devices, best_only, formats, seed, cache, batch, precision, fused
     )
+    _WORKER["progress_queue"] = progress_queue
 
 
 def _run_chunk(task):
     chunk_id, (lo, hi) = task
-    devices, best_only, formats, seed, cache, batch, precision = \
-        _WORKER["args"]
-    table = _sweep_range(
-        _WORKER["dataset"], lo, hi, devices, best_only, formats, seed,
-        cache, batch, precision,
-    )
+    (devices, best_only, formats, seed, cache, batch, precision,
+     fused) = _WORKER["args"]
+    queue = _WORKER.get("progress_queue")
+    # Score the pool chunk in _SERIAL_CHUNK-sized grid passes (matching
+    # the serial engine's granularity) so long cold sweeps report
+    # progress per sub-chunk rather than per pool chunk.
+    step = _SERIAL_CHUNK if batch else 1
+    parts: List[SweepTable] = []
+    for sub_lo in range(lo, hi, step):
+        sub_hi = min(sub_lo + step, hi)
+        parts.append(
+            _sweep_range(
+                _WORKER["dataset"], sub_lo, sub_hi, devices, best_only,
+                formats, seed, cache, batch, precision, fused,
+            )
+        )
+        if queue is not None:
+            queue.put(sub_hi - sub_lo)
+    table = parts[0] if len(parts) == 1 else SweepTable.concat(parts)
     return chunk_id, table, hi - lo
 
 
@@ -149,6 +179,7 @@ def run_sweep(
     progress: Optional[Callable[[int, int], None]] = None,
     batch: bool = True,
     precision: str = "fp64",
+    fused: bool = False,
 ) -> SweepTable:
     """Sharded, cached sweep (see module docstring).
 
@@ -157,9 +188,20 @@ def run_sweep(
     opens its own handle onto the shared directory).  ``batch`` routes
     chunk scoring through the vectorised grid simulator (identical rows,
     one NumPy pass per chunk); ``batch=False`` keeps the scalar loop.
+    ``fused`` (requires ``batch``) scores chunks straight from the specs
+    — structure generation, batched analytic stats and grid scoring in
+    one pass, with no instance materialisation and no cache traffic.
     ``precision`` scores every cell at fp64 (default) or fp32 — the
     experiment runner sweeps one precision slice at a time.
+
+    Under ``jobs > 1``, ``progress`` fires per completed
+    ``_SERIAL_CHUNK``-sized sub-chunk (reported by the workers through a
+    queue, drained on a helper thread), so long cold sweeps show
+    incremental progress; the callback must tolerate being invoked from
+    that thread.
     """
+    if fused and not batch:
+        raise ValueError("fused sweeps require batch=True")
     n = len(dataset)
     jobs = resolve_jobs(jobs)
     jobs = min(jobs, max(n, 1))
@@ -167,7 +209,7 @@ def run_sweep(
         cache = InstanceCache(cache_dir)
 
     if jobs == 1 or n == 0:
-        if cache is not None and dataset.cache is None:
+        if cache is not None and dataset.cache is None and not fused:
             # Attach the cache for reads without mutating the caller's
             # dataset; instances shared through the cache's memory layer.
             dataset = Dataset(
@@ -181,7 +223,7 @@ def run_sweep(
             chunks.append(
                 _sweep_range(
                     dataset, lo, hi, devices, best_only, formats, seed,
-                    cache, batch, precision,
+                    cache, batch, precision, fused,
                 )
             )
             if progress is not None:
@@ -200,22 +242,42 @@ def run_sweep(
         "fork" if "fork" in methods else "spawn"
     )
     bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
+    progress_queue = ctx.Queue() if progress is not None else None
     init_args = (
         dataset.specs, dataset.max_nnz, dataset.name, list(devices),
-        best_only, formats, seed, cache_dir, batch, precision,
+        best_only, formats, seed, cache_dir, batch, precision, fused,
+        progress_queue,
     )
-    results: dict = {}
-    done = 0
-    with ctx.Pool(
-        processes=jobs, initializer=_init_worker, initargs=init_args
-    ) as pool:
-        for chunk_id, chunk, count in pool.imap_unordered(
-            _run_chunk, list(enumerate(bounds))
-        ):
-            results[chunk_id] = chunk
-            done += count
-            if progress is not None:
+
+    drainer = None
+    if progress_queue is not None:
+        def _drain() -> None:
+            # Exits when every spec is accounted for; the ``None``
+            # sentinel unblocks it on abnormal shutdown.
+            done = 0
+            while done < n:
+                count = progress_queue.get()
+                if count is None:
+                    return
+                done += count
                 progress(done, n)
+
+        drainer = threading.Thread(target=_drain, daemon=True)
+        drainer.start()
+
+    results: dict = {}
+    try:
+        with ctx.Pool(
+            processes=jobs, initializer=_init_worker, initargs=init_args
+        ) as pool:
+            for chunk_id, chunk, _count in pool.imap_unordered(
+                _run_chunk, list(enumerate(bounds))
+            ):
+                results[chunk_id] = chunk
+    finally:
+        if progress_queue is not None:
+            progress_queue.put(None)
+            drainer.join()
     return SweepTable.concat(
         [results[chunk_id] for chunk_id in sorted(results)]
     )
