@@ -17,6 +17,13 @@ saved table (``--table``), persisting its cross-validated selector
 results as deterministic JSON or CSV.  Bad arguments, unknown
 device/format/scale names and table schema-version mismatches exit with
 status 2 and an actionable message on stderr.
+
+Long sweeps are killable and resumable: ``sweep --run-dir d/`` journals
+completed chunks, ``sweep --resume d/`` skips them on a rerun
+(byte-identical output), Ctrl-C flushes the journal, prints the resume
+hint and exits 130, and ``--chunk-timeout``/``--max-retries``/
+``--health-json``/``--faults`` expose the resilient dispatch engine
+(see docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -95,6 +102,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "of the best format per (matrix, device) — "
                         "required for tables fed to `repro experiment "
                         "--table`")
+    w.add_argument("--run-dir", default=None,
+                   help="journal completed chunks (atomic table shards "
+                        "+ JSONL log) into this directory so a killed "
+                        "run can be resumed")
+    w.add_argument("--resume", default=None, metavar="RUN_DIR",
+                   help="resume a journalled run: skip chunks whose "
+                        "shards are already on disk (flags must match "
+                        "the original run; output is byte-identical to "
+                        "an uninterrupted sweep)")
+    w.add_argument("--chunk-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-chunk deadline; a hung worker is killed, "
+                        "respawned and the chunk retried (default: no "
+                        "deadline)")
+    w.add_argument("--max-retries", type=int, default=None,
+                   help="retries per chunk before it degrades to an "
+                        "in-process serial re-execution (default 2)")
+    w.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault injection for chaos "
+                        "testing, e.g. 'crash@2,hang@5;seed=7' "
+                        "(also via REPRO_FAULTS; output stays "
+                        "bit-identical)")
+    w.add_argument("--health-json", default=None, metavar="PATH",
+                   help="write the RunReport (retries, timeouts, "
+                        "degraded chunks, quarantined cache entries, "
+                        "per-phase wall-clock) as JSON")
+    w.add_argument("--dispatch", default=None,
+                   choices=("resilient", "pool"),
+                   help="parallel dispatch engine (default resilient; "
+                        "pool is the plain no-retry baseline)")
     w.add_argument("--out", required=True,
                    help="output table path (.npz lossless columnar, "
                         ".csv typed text, .json dict rows)")
@@ -234,10 +271,17 @@ def _cmd_sweep(args) -> int:
     from .devices import TESTBEDS, get_device
     from .io import save_table
     from .io.tableio import _resolve_format
+    from .pipeline import RunReport, resolve_jobs
     from pathlib import Path
 
     # Fail on an unknown extension before minutes of sweeping.
     _resolve_format(Path(args.out), args.table_format)
+    if args.resume and args.run_dir and args.resume != args.run_dir:
+        raise ValueError(
+            "--resume already names the run directory; drop --run-dir "
+            "or make them equal"
+        )
+    run_dir = args.resume or args.run_dir
     devices = (
         [get_device(d) for d in args.devices.split(",")]
         if args.devices
@@ -247,29 +291,62 @@ def _cmd_sweep(args) -> int:
         build_dataset_specs(args.scale), max_nnz=args.max_nnz,
         name=args.scale,
     )
-    from .pipeline import resolve_jobs
-
     jobs = resolve_jobs(args.jobs)
     engine = f"{jobs} worker{'s' if jobs != 1 else ''}"
     if args.fused:
         engine += ", fused"
     if args.cache_dir:
         engine += f", cache at {args.cache_dir}"
+    if run_dir:
+        engine += f", {'resuming' if args.resume else 'journal at'} "
+        engine += run_dir
     print(
         f"sweeping {len(dataset)} matrices on "
         f"{', '.join(d.name for d in devices)} ({engine}) ..."
     )
-    # Progress callbacks fire in the parent process under every engine, so
-    # one carriage-return line works for serial and parallel runs alike.
-    table = sweep(
-        dataset, devices, best_only=not args.all_formats,
-        jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
-        fused=args.fused,
-        progress=lambda i, n: print(f"\r  {i}/{n}", end="", flush=True),
-    )
+    report = RunReport()
+    try:
+        # Progress callbacks fire in the parent process under every
+        # engine, so one carriage-return line works for serial and
+        # parallel runs alike.
+        table = sweep(
+            dataset, devices, best_only=not args.all_formats,
+            jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
+            fused=args.fused,
+            run_dir=run_dir, resume=bool(args.resume),
+            faults=args.faults, chunk_timeout=args.chunk_timeout,
+            max_retries=args.max_retries, report=report,
+            dispatch=args.dispatch,
+            progress=lambda i, n: print(f"\r  {i}/{n}", end="",
+                                        flush=True),
+        )
+    except KeyboardInterrupt:
+        # The engine has already flushed the journal (every completed
+        # chunk's shard + record hit disk before this propagated).
+        print()
+        if args.health_json:
+            report.write(args.health_json)
+        if run_dir:
+            print(
+                f"interrupted — completed chunks are journalled; pick "
+                f"up where this run stopped with:\n"
+                f"  repro sweep --resume {run_dir} ... (same flags)",
+                file=sys.stderr,
+            )
+        raise
     print()
     fmt = save_table(args.out, table, fmt=args.table_format)
     print(f"wrote {len(table)} measurement rows to {args.out} ({fmt})")
+    if report.total_retries or report.chunks_degraded or report.timeouts:
+        print(
+            f"resilience: {report.total_retries} retries "
+            f"({report.retries}), {len(report.chunks_degraded)} "
+            f"degraded chunks, {report.cache_quarantined} quarantined "
+            "cache entries"
+        )
+    if args.health_json:
+        report.write(args.health_json)
+        print(f"wrote run report to {args.health_json}")
     return 0
 
 
@@ -407,6 +484,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # Ctrl-C is a normal way to stop a long sweep, not a bug: no
+        # traceback, the conventional 128+SIGINT exit status, and any
+        # journal/report flushing already happened on the way up
+        # (``repro sweep`` prints the --resume hint itself).
+        print("interrupted", file=sys.stderr)
+        return 130
     except ValueError as exc:
         # ValueError is this codebase's validation convention (specs,
         # registries, generators all raise it with actionable messages

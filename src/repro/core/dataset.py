@@ -393,6 +393,13 @@ def sweep(
     batch: bool = True,
     precision: str = "fp64",
     fused: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    faults=None,
+    chunk_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    report=None,
+    dispatch: Optional[str] = None,
 ) -> SweepTable:
     """Simulate the dataset on every device.
 
@@ -414,6 +421,15 @@ def sweep(
     cache traffic) — the cold-sweep fast path.  Output is row-for-row
     identical across all engines, cache states, batch and fused modes;
     every path funnels through :func:`repro.pipeline.run_sweep`.
+
+    Resilience controls pass straight through to the engine: ``run_dir``
+    journals completed chunks (``resume=True`` skips them on a rerun),
+    ``chunk_timeout``/``max_retries`` set the per-chunk deadline and
+    retry budget, ``faults`` arms a deterministic
+    :class:`~repro.pipeline.faults.FaultPlan`, ``report`` receives a
+    filled :class:`~repro.pipeline.report.RunReport` and ``dispatch``
+    selects the resilient crew (default) or the plain pool baseline —
+    none of them change the merged rows.
     """
     from ..pipeline.engine import run_sweep
 
@@ -421,4 +437,7 @@ def sweep(
         dataset, devices, best_only=best_only, formats=formats,
         seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress,
         batch=batch, precision=precision, fused=fused,
+        run_dir=run_dir, resume=resume, faults=faults,
+        chunk_timeout=chunk_timeout, max_retries=max_retries,
+        report=report, dispatch=dispatch,
     )

@@ -143,6 +143,9 @@ class InstanceCache:
         self.hits_memory = 0
         self.hits_disk = 0
         self.misses = 0
+        # Corrupt entries detected by this handle (moved, not deleted);
+        # the sweep RunReport aggregates these counts across workers.
+        self.quarantined = 0
 
     # -- paths -----------------------------------------------------------
     def _npz_path(self, key: str) -> Path:
@@ -150,6 +153,10 @@ class InstanceCache:
 
     def _json_path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     # -- fetch -----------------------------------------------------------
     def fetch(
@@ -201,13 +208,11 @@ class InstanceCache:
                 )
             meta = json.loads(json_path.read_text())
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            # Partial/corrupt entry: treat as a miss and clear it so the
-            # next store() rewrites both halves.
-            for p in (npz_path, json_path):
-                try:
-                    p.unlink()
-                except OSError:
-                    pass
+            # Partial/corrupt entry: treat as a miss and quarantine both
+            # halves (the pair is only valid together) so the evidence
+            # survives for inspection and the next store() rewrites the
+            # entry cleanly.
+            self._quarantine(npz_path, json_path)
             return None
         inst = MatrixInstance(matrix=matrix, spec=spec, name=name)
         if meta.get("features") is not None:
@@ -230,6 +235,35 @@ class InstanceCache:
                 ImbalanceStats(**d)
             )
         return inst
+
+    def _quarantine(self, *paths: Path) -> None:
+        """Move a corrupt entry's files into ``quarantine/`` and count
+        the incident.
+
+        The move (``os.replace``) is atomic on the same filesystem, so
+        concurrent workers race benignly: whoever moves first wins, the
+        loser's missing-source ``OSError`` is tolerated.  A vanished
+        quarantine directory or a cross-device link error must not take
+        the sweep down either — detection is counted even if the move
+        itself fails.
+        """
+        self.quarantined += 1
+        try:
+            self.quarantine_dir.mkdir(exist_ok=True)
+        except OSError:
+            return
+        for path in paths:
+            if not path.exists():
+                continue
+            target = self.quarantine_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_dir / f"{path.name}.{suffix}"
+            try:
+                os.replace(path, target)
+            except OSError:
+                pass
 
     # -- store -----------------------------------------------------------
     def store(

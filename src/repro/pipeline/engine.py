@@ -1,19 +1,45 @@
-"""Sharded sweep execution.
+"""Sharded, fault-tolerant sweep execution.
 
 :func:`run_sweep` is the dataset-scale execution engine behind
 :func:`repro.core.dataset.sweep`: it partitions spec indices into
-contiguous chunks, fans the chunks out over a ``multiprocessing`` pool
+contiguous chunks, fans the chunks out over worker processes
 (``jobs=1`` stays fully in-process) and merges the per-chunk results
 back in index order.  Chunks are columnar
 :class:`~repro.core.table.SweepTable` slices — workers ship typed
 column arrays, not dict lists — and the merge is
 :meth:`SweepTable.concat`, which preserves first-seen category order
 across chunk boundaries, so the merged table is row-for-row identical
-to a serial sweep regardless of ``jobs`` or cache state.
+to a serial sweep regardless of ``jobs``, cache state, faults or
+resume history.
 
-Workers share one :class:`~repro.pipeline.cache.InstanceCache` directory;
-entries are content-keyed and written atomically, so the only cost of a
-cache race is a redundant materialisation, never a corrupt entry.
+Two dispatch modes execute the parallel chunks:
+
+* ``resilient`` (the default) — a self-managed worker crew with
+  per-chunk deadlines, capped exponential-backoff retries on respawned
+  workers, pool-death detection and graceful degradation: a chunk that
+  keeps failing is re-executed in-process serially, so one poisoned
+  chunk slows the sweep instead of aborting it.  Chunk execution is a
+  pure function of ``(dataset, bounds, args)``, so every retry and
+  fallback produces the same chunk table — the golden resilience suite
+  pins bit-identity under every injected-fault scenario.
+* ``pool`` — the plain ``multiprocessing.Pool`` path (the ≤5%%-overhead
+  baseline for ``benchmarks/bench_resilience.py``); it has no retry,
+  timeout or journal support and assumes a healthy pool.
+
+``run_dir`` makes a run resumable: completed chunks are journalled with
+atomic table shards (:mod:`repro.pipeline.journal`) and
+``run_sweep(..., resume=True)`` skips them.  ``faults`` arms a
+deterministic :class:`~repro.pipeline.faults.FaultPlan` (also via the
+``REPRO_FAULTS`` environment variable) for the chaos suites.  A
+:class:`~repro.pipeline.report.RunReport` passed via ``report=`` is
+filled with retries, timeouts, degraded chunks, quarantined cache
+entries and per-phase wall-clock.
+
+Workers share one :class:`~repro.pipeline.cache.InstanceCache`
+directory; entries are content-keyed and written atomically, so the
+only cost of a cache race is a redundant materialisation, never a
+corrupt entry — and a corrupt entry found on disk is quarantined and
+rematerialised, never trusted.
 """
 
 from __future__ import annotations
@@ -21,13 +47,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from typing import Callable, List, Optional, Sequence
+import time
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.dataset import (
     Dataset, SweepTable, fused_spec_table, grid_spec_table, spec_rows,
 )
 from ..devices.base import Device
 from .cache import InstanceCache
+from .faults import FaultPlan
+from .journal import RunJournal, sweep_config
+from .report import ChunkFailedError, RunReport
 
 __all__ = ["run_sweep", "resolve_jobs"]
 
@@ -40,12 +72,31 @@ _CHUNKS_PER_JOB = 4
 # for responsive progress reporting.
 _SERIAL_CHUNK = 16
 
+# Resilient dispatch policy defaults.  Retries are per chunk, across all
+# incident kinds; after ``max_retries`` re-dispatches the chunk degrades
+# to an in-process serial re-execution.
+_DEFAULT_MAX_RETRIES = 2
+_BACKOFF_BASE = 0.05   # seconds; doubled per retry of the same chunk
+_BACKOFF_CAP = 2.0
+_POLL_INTERVAL = 0.2   # parent event-loop wake-up ceiling
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``jobs`` request: ``0``/``None``/negative auto-detects."""
     if jobs is None or jobs <= 0:
         return max(os.cpu_count() or 1, 1)
     return jobs
+
+
+def resolve_dispatch(dispatch: Optional[str]) -> str:
+    """Normalise a dispatch request (``None`` → ``REPRO_DISPATCH`` env →
+    ``resilient``)."""
+    mode = dispatch or os.environ.get("REPRO_DISPATCH") or "resilient"
+    if mode not in ("resilient", "pool"):
+        raise ValueError(
+            f"unknown dispatch mode {mode!r}; available: resilient, pool"
+        )
+    return mode
 
 
 def _chunk_bounds(n: int, n_chunks: int) -> List[tuple]:
@@ -126,6 +177,41 @@ def _sweep_range(
     return SweepTable.from_rows(rows).with_constant("precision", precision)
 
 
+def _chunk_table(
+    dataset: Dataset,
+    lo: int,
+    hi: int,
+    devices,
+    best_only,
+    formats,
+    seed,
+    cache,
+    batch,
+    precision,
+    fused,
+    progress_put: Optional[Callable[[int], None]] = None,
+) -> SweepTable:
+    """One pool chunk scored in ``_SERIAL_CHUNK``-sized grid passes.
+
+    Shared verbatim by pool workers, resilient-crew workers and the
+    in-process degradation fallback, so a chunk's table is identical no
+    matter where (or how many times) it executes.
+    """
+    step = _SERIAL_CHUNK if batch else 1
+    parts: List[SweepTable] = []
+    for sub_lo in range(lo, hi, step):
+        sub_hi = min(sub_lo + step, hi)
+        parts.append(
+            _sweep_range(
+                dataset, sub_lo, sub_hi, devices, best_only,
+                formats, seed, cache, batch, precision, fused,
+            )
+        )
+        if progress_put is not None:
+            progress_put(sub_hi - sub_lo)
+    return parts[0] if len(parts) == 1 else SweepTable.concat(parts)
+
+
 # -- worker-side state (initialised once per pool process) ------------------
 _WORKER: dict = {}
 
@@ -145,26 +231,370 @@ def _init_worker(specs, max_nnz, name, devices, best_only, formats, seed,
 
 def _run_chunk(task):
     chunk_id, (lo, hi) = task
-    (devices, best_only, formats, seed, cache, batch, precision,
-     fused) = _WORKER["args"]
+    args = _WORKER["args"]
     queue = _WORKER.get("progress_queue")
-    # Score the pool chunk in _SERIAL_CHUNK-sized grid passes (matching
-    # the serial engine's granularity) so long cold sweeps report
-    # progress per sub-chunk rather than per pool chunk.
-    step = _SERIAL_CHUNK if batch else 1
-    parts: List[SweepTable] = []
-    for sub_lo in range(lo, hi, step):
-        sub_hi = min(sub_lo + step, hi)
-        parts.append(
-            _sweep_range(
-                _WORKER["dataset"], sub_lo, sub_hi, devices, best_only,
-                formats, seed, cache, batch, precision, fused,
-            )
-        )
-        if queue is not None:
-            queue.put(sub_hi - sub_lo)
-    table = parts[0] if len(parts) == 1 else SweepTable.concat(parts)
+    put = queue.put if queue is not None else None
+    table = _chunk_table(_WORKER["dataset"], lo, hi, *args,
+                         progress_put=put)
     return chunk_id, table, hi - lo
+
+
+# -- resilient dispatch ------------------------------------------------------
+def _worker_main(worker_id, task_conn, result_conn, init_args, fault_spec,
+                 want_progress) -> None:
+    """Crew worker loop: receive ``(chunk_id, lo, hi, attempt)`` tasks,
+    send ``("ok", ...)``/``("error", ...)`` results (plus ``progress``
+    ticks) back on a dedicated pipe.  ``None`` is the shutdown sentinel.
+    """
+    _init_worker(*init_args)
+    dataset = _WORKER["dataset"]
+    args = _WORKER["args"]
+    cache = args[4]
+    cache_dir = init_args[7]
+    plan = FaultPlan.from_spec(fault_spec)
+    while True:
+        try:
+            task = task_conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        if task is None:
+            return
+        chunk_id, lo, hi, attempt = task
+        try:
+            if plan is not None:
+                keys = None
+                if cache_dir and plan.matching(chunk_id, attempt,
+                                               kinds=("corrupt",)):
+                    from .cache import spec_key
+                    keys = [
+                        spec_key(dataset.specs[i], dataset.max_nnz)
+                        for i in range(lo, hi)
+                    ]
+                plan.fire(chunk_id, attempt, cache_dir=cache_dir,
+                          keys=keys)
+            put = None
+            if want_progress:
+                def put(count, _cid=chunk_id):
+                    result_conn.send(("progress", _cid, count))
+            table = _chunk_table(dataset, lo, hi, *args, progress_put=put)
+            quarantined = cache.quarantined if cache is not None else 0
+            result_conn.send(("ok", chunk_id, table, quarantined))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            try:
+                result_conn.send(
+                    ("error", chunk_id, f"{type(exc).__name__}: {exc}")
+                )
+            except (OSError, ValueError):
+                os._exit(1)
+
+
+class _ChunkState:
+    """Dispatch bookkeeping for one chunk: attempt count + backoff."""
+
+    __slots__ = ("chunk_id", "lo", "hi", "attempts", "eligible_at")
+
+    def __init__(self, chunk_id: int, lo: int, hi: int):
+        self.chunk_id = chunk_id
+        self.lo = lo
+        self.hi = hi
+        self.attempts = 0
+        self.eligible_at = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+class _CrewWorker:
+    """One crew process plus its task/result pipes."""
+
+    def __init__(self, ctx, uid, init_args, fault_spec, want_progress):
+        self.uid = uid
+        task_recv, self.task_send = ctx.Pipe(duplex=False)
+        self.result_recv, result_send = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(uid, task_recv, result_send, init_args, fault_spec,
+                  want_progress),
+            daemon=True,
+        )
+        self.process.start()
+        # Close the worker-side ends in the parent so fds aren't leaked.
+        task_recv.close()
+        result_send.close()
+        self.chunk: Optional[_ChunkState] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, state: _ChunkState, now: float,
+               chunk_timeout: Optional[float]) -> None:
+        self.chunk = state
+        self.deadline = (
+            now + chunk_timeout if chunk_timeout is not None else None
+        )
+        self.task_send.send(
+            (state.chunk_id, state.lo, state.hi, state.attempts)
+        )
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        """Graceful shutdown request (sentinel); never raises."""
+        try:
+            self.task_send.send(None)
+        except (OSError, ValueError):
+            pass
+
+    def kill(self) -> None:
+        """Hard teardown: terminate, escalate to SIGKILL, reap, close."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(2.0)
+            if self.process.is_alive():
+                self.process.kill()
+        self.process.join(2.0)
+        for conn in (self.task_send, self.result_recv):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class _ProgressMeter:
+    """Monotonic sweep progress under retries.
+
+    Workers report sub-chunk spec counts; retried chunks re-report, so
+    per-chunk tallies are capped at the chunk size and the published
+    total (which includes resumed chunks) only ever grows, reaching
+    exactly ``n`` on completion.
+    """
+
+    def __init__(self, sizes: Dict[int, int], n: int, base: int,
+                 progress: Optional[Callable[[int, int], None]]):
+        self._acc = {cid: 0 for cid in sizes}
+        self._sizes = sizes
+        self._n = n
+        self._done = base
+        self._progress = progress
+        if progress is not None and base:
+            progress(base, n)
+
+    def add(self, chunk_id: int, count: int) -> None:
+        if self._progress is None or chunk_id not in self._acc:
+            return
+        before = min(self._acc[chunk_id], self._sizes[chunk_id])
+        self._acc[chunk_id] += count
+        after = min(self._acc[chunk_id], self._sizes[chunk_id])
+        if after > before:
+            self._done += after - before
+            self._progress(self._done, self._n)
+
+    def complete(self, chunk_id: int) -> None:
+        self.add(chunk_id, self._sizes.get(chunk_id, 0))
+
+
+class _ResilientDispatch:
+    """Parent-side event loop for the resilient worker crew."""
+
+    def __init__(self, ctx, jobs, init_args, plan, want_progress,
+                 chunk_timeout, max_retries, report, meter,
+                 serial_fallback, on_chunk_done,
+                 backoff_base=_BACKOFF_BASE, backoff_cap=_BACKOFF_CAP):
+        self.ctx = ctx
+        self.jobs = jobs
+        self.init_args = init_args
+        self.fault_spec = plan.to_spec() if plan is not None else None
+        self.want_progress = want_progress
+        self.chunk_timeout = chunk_timeout
+        self.max_retries = max_retries
+        self.report = report
+        self.meter = meter
+        self.serial_fallback = serial_fallback
+        self.on_chunk_done = on_chunk_done
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.workers: List[_CrewWorker] = []
+        self._uid = 0
+        self._spawned = 0
+        # Final cache-quarantine tallies per worker generation (workers
+        # report cumulative counts with each completed chunk).
+        self._quarantine: Dict[int, int] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def _spawn(self) -> _CrewWorker:
+        self._uid += 1
+        if self._spawned >= self.jobs:
+            # Every spawn beyond the initial crew is a replacement for a
+            # crashed, hung or wedged worker.
+            self.report.worker_respawns += 1
+        self._spawned += 1
+        worker = _CrewWorker(self.ctx, self._uid, self.init_args,
+                             self.fault_spec, self.want_progress)
+        return worker
+
+    def _retire(self, worker: _CrewWorker) -> None:
+        worker.kill()
+        if worker in self.workers:
+            self.workers.remove(worker)
+
+    def close(self) -> None:
+        """Tear the crew down unconditionally — no zombie processes, no
+        dangling pipes, whatever state the dispatch loop died in."""
+        for worker in self.workers:
+            worker.stop()
+        deadline = time.monotonic() + 2.0
+        for worker in self.workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+        for worker in list(self.workers):
+            self._retire(worker)
+        self.report.cache_quarantined += sum(self._quarantine.values())
+
+    # -- failure policy --------------------------------------------------
+    def _fail(self, worker: _CrewWorker, kind: str, detail: str,
+              pending: deque, degraded: List[_ChunkState]) -> None:
+        state = worker.chunk
+        worker.chunk = None
+        worker.deadline = None
+        state.attempts += 1
+        self.report.record_incident(
+            kind, state.chunk_id, state.attempts - 1, detail
+        )
+        if state.attempts > self.max_retries:
+            degraded.append(state)
+            self.report.record_degraded(state.chunk_id)
+        else:
+            state.eligible_at = time.monotonic() + min(
+                self.backoff_base * 2 ** (state.attempts - 1),
+                self.backoff_cap,
+            )
+            pending.append(state)
+
+    # -- message handling ------------------------------------------------
+    def _drain(self, worker: _CrewWorker, results: dict,
+               pending: deque, degraded: List[_ChunkState]) -> None:
+        """Consume every buffered message from one worker's pipe."""
+        while True:
+            try:
+                if not worker.result_recv.poll(0):
+                    return
+                message = worker.result_recv.recv()
+            except (EOFError, OSError):
+                return
+            tag = message[0]
+            if tag == "progress":
+                _, chunk_id, count = message
+                self.meter.add(chunk_id, count)
+            elif tag == "ok":
+                _, chunk_id, table, quarantined = message
+                self._quarantine[worker.uid] = int(quarantined)
+                state = worker.chunk
+                worker.chunk = None
+                worker.deadline = None
+                results[chunk_id] = table
+                self.report.chunks_completed += 1
+                self.meter.complete(chunk_id)
+                self.on_chunk_done(state, table)
+            elif worker.chunk is not None:
+                # "error": the worker caught a chunk exception and
+                # stays alive for the next assignment.
+                _, chunk_id, detail = message
+                self._fail(worker, "error", detail, pending, degraded)
+
+    # -- main loop -------------------------------------------------------
+    def run(self, states: List[_ChunkState]) -> Dict[int, SweepTable]:
+        results: Dict[int, SweepTable] = {}
+        pending: deque = deque(sorted(states, key=lambda s: s.chunk_id))
+        degraded: List[_ChunkState] = []
+        try:
+            while pending or any(w.chunk is not None for w in self.workers):
+                now = time.monotonic()
+                # Retire idle workers that died on their own (e.g. a
+                # crash fault firing after the result was sent).
+                for worker in list(self.workers):
+                    if worker.chunk is None and not worker.alive():
+                        self._retire(worker)
+                # Assign eligible chunks to idle (or newly spawned)
+                # workers.
+                eligible = sorted(
+                    (s for s in pending if s.eligible_at <= now),
+                    key=lambda s: s.chunk_id,
+                )
+                idle = [w for w in self.workers if w.chunk is None]
+                for state in eligible:
+                    if idle:
+                        worker = idle.pop(0)
+                    elif len(self.workers) < self.jobs:
+                        worker = self._spawn()
+                        self.workers.append(worker)
+                    else:
+                        break
+                    pending.remove(state)
+                    worker.assign(state, now, self.chunk_timeout)
+                # Wait for results (bounded by the nearest deadline or
+                # backoff expiry so hangs are noticed promptly).
+                timeout = _POLL_INTERVAL
+                for worker in self.workers:
+                    if worker.deadline is not None:
+                        timeout = min(timeout, worker.deadline - now)
+                for state in pending:
+                    timeout = min(timeout, state.eligible_at - now)
+                timeout = max(0.005, timeout)
+                conns = [w.result_recv for w in self.workers]
+                if conns:
+                    ready = _conn_wait(conns, timeout)
+                else:
+                    time.sleep(timeout)
+                    ready = []
+                by_conn = {w.result_recv: w for w in self.workers}
+                for conn in ready:
+                    worker = by_conn.get(conn)
+                    if worker is not None:
+                        self._drain(worker, results, pending, degraded)
+                # Crash detection: an assigned worker that died mid-chunk.
+                # Buffered messages are drained first — the result may
+                # have made it out before the process died.
+                for worker in list(self.workers):
+                    if worker.chunk is not None and not worker.alive():
+                        self._drain(worker, results, pending, degraded)
+                        if worker.chunk is not None:
+                            self._fail(
+                                worker, "crash",
+                                "worker process died (exitcode "
+                                f"{worker.process.exitcode})",
+                                pending, degraded,
+                            )
+                        self._retire(worker)
+                # Deadline enforcement: kill and replace hung workers.
+                if self.chunk_timeout is not None:
+                    now = time.monotonic()
+                    for worker in list(self.workers):
+                        if (worker.chunk is not None
+                                and worker.deadline is not None
+                                and now >= worker.deadline):
+                            self._fail(
+                                worker, "timeout",
+                                f"chunk {worker.chunk.chunk_id} "
+                                f"exceeded the {self.chunk_timeout}s "
+                                "deadline",
+                                pending, degraded,
+                            )
+                            self._retire(worker)
+            # Graceful degradation: chunks that failed every retry run
+            # in-process serially — same chunk function, same table.
+            if degraded:
+                with self.report.phase("degraded"):
+                    for state in sorted(degraded,
+                                        key=lambda s: s.chunk_id):
+                        table = self.serial_fallback(state)
+                        results[state.chunk_id] = table
+                        self.report.chunks_completed += 1
+                        self.meter.complete(state.chunk_id)
+                        self.on_chunk_done(state, table)
+        finally:
+            self.close()
+        return results
 
 
 def run_sweep(
@@ -180,8 +610,15 @@ def run_sweep(
     batch: bool = True,
     precision: str = "fp64",
     fused: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    faults: Optional[Union[str, FaultPlan]] = None,
+    chunk_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    report: Optional[RunReport] = None,
+    dispatch: Optional[str] = None,
 ) -> SweepTable:
-    """Sharded, cached sweep (see module docstring).
+    """Sharded, cached, fault-tolerant sweep (see module docstring).
 
     ``cache`` takes precedence over ``cache_dir``; with ``jobs != 1`` the
     cache must be directory-backed, so pass ``cache_dir`` (each worker
@@ -194,60 +631,246 @@ def run_sweep(
     ``precision`` scores every cell at fp64 (default) or fp32 — the
     experiment runner sweeps one precision slice at a time.
 
-    Under ``jobs > 1``, ``progress`` fires per completed
-    ``_SERIAL_CHUNK``-sized sub-chunk (reported by the workers through a
-    queue, drained on a helper thread), so long cold sweeps show
-    incremental progress; the callback must tolerate being invoked from
-    that thread.
+    Resilience controls (resilient dispatch only): ``run_dir`` journals
+    completed chunks for ``resume=True``; ``chunk_timeout`` is the
+    per-chunk deadline in seconds (``None`` → no deadline);
+    ``max_retries`` caps re-dispatches per chunk before the in-process
+    serial fallback; ``faults`` arms a deterministic
+    :class:`FaultPlan` (spec string or instance; default: the
+    ``REPRO_FAULTS`` environment variable); ``report`` is a
+    :class:`RunReport` filled in place.  ``dispatch`` selects
+    ``resilient`` (default, also via ``REPRO_DISPATCH``) or the plain
+    ``pool`` baseline.
+
+    ``progress`` fires monotonically as specs complete — per spec when
+    serial, per completed ``_SERIAL_CHUNK``-sized sub-chunk under
+    ``jobs > 1`` (and never goes backwards across retries); the callback
+    must tolerate being invoked from the dispatch loop.
     """
+    rep = report if report is not None else RunReport()
+    journal_holder: List[Optional[RunJournal]] = [None]
+    try:
+        with rep.phase("total"):
+            table = _run_sweep_inner(
+                dataset, devices, best_only, formats, seed, jobs,
+                cache_dir, cache, progress, batch, precision, fused,
+                run_dir, resume, faults, chunk_timeout, max_retries,
+                rep, dispatch, journal_holder,
+            )
+        rep.status = "complete"
+        if journal_holder[0] is not None:
+            journal_holder[0].record_end("complete")
+        return table
+    except KeyboardInterrupt:
+        rep.status = "interrupted"
+        if journal_holder[0] is not None:
+            journal_holder[0].record_end("interrupted")
+        raise
+    except BaseException:
+        rep.status = "failed"
+        if journal_holder[0] is not None:
+            journal_holder[0].record_end("failed")
+        raise
+
+
+def _run_sweep_inner(
+    dataset, devices, best_only, formats, seed, jobs, cache_dir, cache,
+    progress, batch, precision, fused, run_dir, resume, faults,
+    chunk_timeout, max_retries, rep, dispatch, journal_holder,
+) -> SweepTable:
     if fused and not batch:
         raise ValueError("fused sweeps require batch=True")
     n = len(dataset)
     jobs = resolve_jobs(jobs)
     jobs = min(jobs, max(n, 1))
+    dispatch = resolve_dispatch(dispatch)
+    if max_retries is None:
+        max_retries = _DEFAULT_MAX_RETRIES
     if cache is None and cache_dir is not None:
         cache = InstanceCache(cache_dir)
+    if isinstance(faults, FaultPlan):
+        plan = faults
+    else:
+        plan = FaultPlan.from_spec(
+            faults or os.environ.get("REPRO_FAULTS")
+        )
+    if dispatch == "pool" and (run_dir is not None or plan is not None
+                               or chunk_timeout is not None):
+        raise ValueError(
+            "dispatch='pool' is the plain baseline: it supports no "
+            "run_dir/resume, faults or chunk_timeout — use the default "
+            "resilient dispatch"
+        )
+    if resume and run_dir is None:
+        raise ValueError("resume=True requires run_dir")
+    rep.engine = {
+        "dispatch": dispatch, "jobs": jobs, "batch": bool(batch),
+        "fused": bool(fused), "precision": precision, "n_specs": n,
+        "max_retries": max_retries, "chunk_timeout": chunk_timeout,
+        "journalled": run_dir is not None, "resumed": bool(resume),
+    }
 
+    # -- journal / resume ------------------------------------------------
+    journal: Optional[RunJournal] = None
+    completed: Dict[int, SweepTable] = {}
+    bounds: Optional[List[tuple]] = None
+    if run_dir is not None:
+        config = sweep_config(dataset, devices, best_only, formats, seed,
+                              precision, batch, fused)
+        if resume:
+            journal = RunJournal.load(run_dir)
+            journal.check_config(config)
+            bounds = journal.bounds
+            with rep.phase("resume_load"):
+                completed = journal.completed_chunks()
+            rep.chunks_resumed = len(completed)
+        else:
+            bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
+            journal = RunJournal.create(run_dir, config, bounds)
+        journal_holder[0] = journal
+
+    def on_chunk_done(state: _ChunkState, table: SweepTable) -> None:
+        if journal is not None:
+            journal.write_shard(state.chunk_id, table)
+            journal.record_chunk(
+                state.chunk_id, state.lo, state.hi, state.attempts
+            )
+        if plan is not None and plan.stop_after(state.chunk_id):
+            raise KeyboardInterrupt(
+                f"injected stop after chunk {state.chunk_id}"
+            )
+
+    # -- serial ----------------------------------------------------------
     if jobs == 1 or n == 0:
+        serial_dataset = dataset
         if cache is not None and dataset.cache is None and not fused:
             # Attach the cache for reads without mutating the caller's
             # dataset; instances shared through the cache's memory layer.
-            dataset = Dataset(
+            serial_dataset = Dataset(
                 dataset.specs, max_nnz=dataset.max_nnz,
                 name=dataset.name, cache=cache,
             )
-        chunks: List[SweepTable] = []
-        step = _SERIAL_CHUNK if batch else 1
-        for lo in range(0, n, step):
-            hi = min(lo + step, n)
-            chunks.append(
-                _sweep_range(
-                    dataset, lo, hi, devices, best_only, formats, seed,
-                    cache, batch, precision, fused,
+        if journal is None:
+            chunks: List[SweepTable] = []
+            step = _SERIAL_CHUNK if batch else 1
+            rep.chunks_total = max((n + step - 1) // step, 0)
+            for lo in range(0, n, step):
+                hi = min(lo + step, n)
+                chunks.append(
+                    _sweep_range(
+                        serial_dataset, lo, hi, devices, best_only,
+                        formats, seed, cache, batch, precision, fused,
+                    )
                 )
-            )
+                rep.chunks_completed += 1
+                if progress is not None:
+                    # Per-spec callbacks (the documented granularity),
+                    # fired once the chunk they belong to is scored.
+                    for i in range(lo, hi):
+                        progress(i + 1, n)
+            if cache is not None:
+                rep.cache_quarantined += cache.quarantined
+            return SweepTable.concat(chunks)
+        # Journalled serial run: execute at the journalled chunk
+        # granularity so shards/resume are jobs-independent.
+        rep.chunks_total = len(bounds)
+        done = 0
+        tables: List[SweepTable] = []
+        for chunk_id, (lo, hi) in enumerate(bounds):
+            if chunk_id in completed:
+                tables.append(completed[chunk_id])
+            else:
+                state = _ChunkState(chunk_id, lo, hi)
+                table = _chunk_table(
+                    serial_dataset, lo, hi, devices, best_only, formats,
+                    seed, cache, batch, precision, fused,
+                )
+                rep.chunks_completed += 1
+                tables.append(table)
+                on_chunk_done(state, table)
+            done += hi - lo
             if progress is not None:
-                # Per-spec callbacks (the documented granularity), fired
-                # once the chunk they belong to is scored.
-                for i in range(lo, hi):
-                    progress(i + 1, n)
-        return SweepTable.concat(chunks)
+                progress(done, n)
+        if cache is not None:
+            rep.cache_quarantined += cache.quarantined
+        return SweepTable.concat(tables)
 
+    # -- parallel --------------------------------------------------------
     if cache is not None and cache_dir is None:
         cache_dir = str(cache.root)
+    if bounds is None:
+        bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
+    rep.chunks_total = len(bounds)
 
     # ``fork`` keeps start-up cheap where available; ``spawn`` elsewhere.
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
-    bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
-    progress_queue = ctx.Queue() if progress is not None else None
     init_args = (
         dataset.specs, dataset.max_nnz, dataset.name, list(devices),
         best_only, formats, seed, cache_dir, batch, precision, fused,
-        progress_queue,
     )
+    states = [
+        _ChunkState(chunk_id, lo, hi)
+        for chunk_id, (lo, hi) in enumerate(bounds)
+        if chunk_id not in completed
+    ]
+
+    if dispatch == "pool":
+        results = _run_pool(ctx, jobs, init_args, bounds, progress, n)
+    else:
+        sizes = {s.chunk_id: s.size for s in states}
+        base = sum(hi - lo for cid, (lo, hi) in enumerate(bounds)
+                   if cid in completed)
+        meter = _ProgressMeter(sizes, n, base, progress)
+
+        fallback_dataset: List[Optional[Dataset]] = [None]
+
+        def serial_fallback(state: _ChunkState) -> SweepTable:
+            if fallback_dataset[0] is None:
+                fallback_dataset[0] = Dataset(
+                    dataset.specs, max_nnz=dataset.max_nnz,
+                    name=dataset.name,
+                    cache=cache if not fused else None,
+                )
+            return _chunk_table(
+                fallback_dataset[0], state.lo, state.hi, devices,
+                best_only, formats, seed,
+                cache if not fused else None, batch, precision, fused,
+            )
+
+        crew = _ResilientDispatch(
+            ctx, jobs, init_args, plan, progress is not None,
+            chunk_timeout, max_retries, rep, meter, serial_fallback,
+            on_chunk_done,
+        )
+        with rep.phase("dispatch"):
+            results = crew.run(states)
+
+    results.update(completed)
+    missing = [cid for cid in range(len(bounds)) if cid not in results]
+    if missing:
+        raise ChunkFailedError(
+            f"chunks {missing} produced no result; the sweep cannot "
+            "be merged"
+        )
+    with rep.phase("merge"):
+        return SweepTable.concat(
+            [results[chunk_id] for chunk_id in sorted(results)]
+        )
+
+
+def _run_pool(ctx, jobs, init_args, bounds, progress, n) -> dict:
+    """The plain ``multiprocessing.Pool`` baseline dispatch.
+
+    No retries, deadlines or journal — but teardown is unconditional:
+    the pool is terminated and joined and the progress drain thread is
+    unblocked by its sentinel in a ``finally``, so a worker exception or
+    Ctrl-C never leaves a zombie pool or a dangling thread behind.
+    """
+    progress_queue = ctx.Queue() if progress is not None else None
+    pool_init_args = init_args + (progress_queue,)
 
     drainer = None
     if progress_queue is not None:
@@ -266,18 +889,21 @@ def run_sweep(
         drainer.start()
 
     results: dict = {}
+    pool = ctx.Pool(processes=jobs, initializer=_init_worker,
+                    initargs=pool_init_args)
     try:
-        with ctx.Pool(
-            processes=jobs, initializer=_init_worker, initargs=init_args
-        ) as pool:
-            for chunk_id, chunk, _count in pool.imap_unordered(
-                _run_chunk, list(enumerate(bounds))
-            ):
-                results[chunk_id] = chunk
+        for chunk_id, chunk, _count in pool.imap_unordered(
+            _run_chunk, list(enumerate(bounds))
+        ):
+            results[chunk_id] = chunk
     finally:
+        # Unconditional teardown: terminate + join reaps every worker
+        # even when imap raised (worker exception, Ctrl-C), and the
+        # sentinel releases the drain thread before we join it.
+        pool.terminate()
+        pool.join()
         if progress_queue is not None:
             progress_queue.put(None)
             drainer.join()
-    return SweepTable.concat(
-        [results[chunk_id] for chunk_id in sorted(results)]
-    )
+            progress_queue.close()
+    return results

@@ -1,0 +1,237 @@
+"""Crash-safe run journal + per-chunk table shards for resumable sweeps.
+
+A journalled sweep (``run_sweep(..., run_dir=...)``) leaves a run
+directory that survives any kind of death — worker crash, parent
+``kill -9``, Ctrl-C — in a state a later ``repro sweep --resume
+<run-dir>`` can pick up without redoing completed work::
+
+    <run-dir>/
+      journal.jsonl          append-only event log (one JSON per line)
+      shards/chunk-000042.npz  atomic per-chunk SweepTable shards
+
+Records are appended with flush + fsync and shards are written
+temp-file-then-``os.replace``, so at every instant the directory is a
+consistent prefix of the run: a journalled chunk record implies its
+shard is fully on disk.  A torn trailing line (the parent died
+mid-append) is tolerated and ignored on load.
+
+The ``begin`` record pins the sweep *configuration fingerprint* —
+content keys of every spec, device names, seed, precision, engine
+flags — plus the chunk bounds.  Resume refuses a mismatched
+configuration (:class:`~repro.pipeline.report.ResumeError`) and always
+re-executes against the journalled bounds, so the merged table is
+byte-identical to an uninterrupted run regardless of the ``--jobs``
+value used on either side of the interruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.table import SweepTable
+from .cache import spec_key
+from .report import ResumeError
+
+__all__ = ["RunJournal", "sweep_config", "JOURNAL_VERSION"]
+
+JOURNAL_VERSION = 1
+
+
+def sweep_config(dataset, devices, best_only, formats, seed, precision,
+                 batch, fused) -> dict:
+    """The configuration fingerprint journalled with a run.
+
+    Everything that changes the merged table is in here (specs via their
+    content keys, devices, seed, precision, engine mode); everything
+    proven not to (jobs, cache state, dispatch mode) is not, so a run
+    can be resumed with different parallelism on a different machine.
+    """
+    digest = hashlib.sha256()
+    for spec in dataset.specs:
+        digest.update(spec_key(spec, dataset.max_nnz).encode())
+        digest.update(b"\n")
+    return {
+        "n_specs": len(dataset),
+        "dataset_name": dataset.name,
+        "max_nnz": int(dataset.max_nnz),
+        "dataset_sha": digest.hexdigest()[:32],
+        "devices": [d.name for d in devices],
+        "best_only": bool(best_only),
+        "formats": list(formats) if formats else None,
+        "seed": int(seed),
+        "precision": precision,
+        "batch": bool(batch),
+        "fused": bool(fused),
+    }
+
+
+class RunJournal:
+    """Append-only journal + shard store for one sweep run."""
+
+    def __init__(self, run_dir):
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / "journal.jsonl"
+        self.shards_dir = self.run_dir / "shards"
+        self.config: dict = {}
+        self.bounds: List[Tuple[int, int]] = []
+        # chunk id -> shard file name (last record wins)
+        self._chunks: Dict[int, str] = {}
+        self.ended: Optional[str] = None
+
+    # -- lifecycle -------------------------------------------------------
+    @classmethod
+    def create(cls, run_dir, config: dict,
+               bounds: Sequence[Tuple[int, int]]) -> "RunJournal":
+        """Start a fresh journal; refuses a directory that already holds
+        one (resume it or pick a new directory — never silently clobber
+        hours of completed shards)."""
+        journal = cls(run_dir)
+        if journal.path.exists():
+            raise ResumeError(
+                f"{journal.path} already exists; resume it with "
+                f"--resume {journal.run_dir} or choose a fresh --run-dir"
+            )
+        journal.run_dir.mkdir(parents=True, exist_ok=True)
+        journal.shards_dir.mkdir(exist_ok=True)
+        journal.config = dict(config)
+        journal.bounds = [(int(lo), int(hi)) for lo, hi in bounds]
+        journal._append({
+            "event": "begin",
+            "version": JOURNAL_VERSION,
+            "config": journal.config,
+            "bounds": [[lo, hi] for lo, hi in journal.bounds],
+        })
+        return journal
+
+    @classmethod
+    def load(cls, run_dir) -> "RunJournal":
+        """Read a journal back, tolerating a torn trailing line."""
+        journal = cls(run_dir)
+        if not journal.path.exists():
+            raise ResumeError(
+                f"no journal at {journal.path}; nothing to resume"
+            )
+        lines = journal.path.read_bytes().splitlines()
+        records = []
+        for i, raw in enumerate(lines):
+            try:
+                records.append(json.loads(raw))
+            except ValueError:
+                if i == len(lines) - 1:
+                    break  # torn tail: the parent died mid-append
+                raise ResumeError(
+                    f"{journal.path} is corrupt at line {i + 1} "
+                    "(not valid JSON and not the trailing record)"
+                )
+        if not records or records[0].get("event") != "begin":
+            raise ResumeError(
+                f"{journal.path} has no begin record; the run directory "
+                "was never initialised — start a fresh run"
+            )
+        begin = records[0]
+        if begin.get("version") != JOURNAL_VERSION:
+            raise ResumeError(
+                f"{journal.path} was written by journal version "
+                f"{begin.get('version')}; this build reads version "
+                f"{JOURNAL_VERSION}"
+            )
+        journal.config = begin["config"]
+        journal.bounds = [
+            (int(lo), int(hi)) for lo, hi in begin["bounds"]
+        ]
+        for rec in records[1:]:
+            if rec.get("event") == "chunk":
+                journal._chunks[int(rec["chunk"])] = rec["shard"]
+            elif rec.get("event") == "end":
+                journal.ended = rec.get("status")
+        return journal
+
+    def check_config(self, config: dict) -> None:
+        """Raise :class:`ResumeError` naming every differing key."""
+        mismatched = sorted(
+            key for key in set(self.config) | set(config)
+            if self.config.get(key) != config.get(key)
+        )
+        if mismatched:
+            detail = "; ".join(
+                f"{key}: journal={self.config.get(key)!r} "
+                f"requested={config.get(key)!r}" for key in mismatched
+            )
+            raise ResumeError(
+                f"cannot resume {self.run_dir}: the journalled sweep "
+                f"configuration differs ({detail}); rerun with the "
+                "original flags or start a fresh --run-dir"
+            )
+
+    # -- record appends --------------------------------------------------
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_chunk(self, chunk_id: int, lo: int, hi: int,
+                     attempt: int) -> None:
+        self._chunks[chunk_id] = self._shard_name(chunk_id)
+        self._append({
+            "event": "chunk", "chunk": int(chunk_id),
+            "lo": int(lo), "hi": int(hi), "attempt": int(attempt),
+            "shard": self._shard_name(chunk_id),
+        })
+
+    def record_end(self, status: str) -> None:
+        self.ended = status
+        self._append({"event": "end", "status": status})
+
+    # -- shards ----------------------------------------------------------
+    def _shard_name(self, chunk_id: int) -> str:
+        return f"chunk-{chunk_id:06d}.npz"
+
+    def shard_path(self, chunk_id: int) -> Path:
+        return self.shards_dir / self._shard_name(chunk_id)
+
+    def write_shard(self, chunk_id: int, table: SweepTable) -> None:
+        """Atomic shard write: temp file in the shards dir, then
+        ``os.replace`` — a reader (or a resume after a kill) only ever
+        sees absent or complete shards."""
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(chunk_id)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.shards_dir, prefix=f".{path.name}."
+        )
+        os.close(fd)
+        try:
+            table.to_npz(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_shard(self, chunk_id: int) -> SweepTable:
+        return SweepTable.from_npz(self.shard_path(chunk_id))
+
+    def completed_chunks(self) -> Dict[int, SweepTable]:
+        """Journalled chunks whose shards load cleanly.
+
+        A journal record normally implies a complete shard (records are
+        appended only after the atomic shard replace), but resume stays
+        defensive: an unreadable or missing shard just means the chunk
+        re-executes — re-doing work is always safe, trusting a damaged
+        shard never is.
+        """
+        loaded: Dict[int, SweepTable] = {}
+        for chunk_id in sorted(self._chunks):
+            try:
+                loaded[chunk_id] = self.load_shard(chunk_id)
+            except (OSError, ValueError):
+                continue
+        return loaded

@@ -1,0 +1,163 @@
+"""Structured sweep errors and the per-run health report.
+
+The resilient dispatch path (:func:`repro.pipeline.engine.run_sweep`)
+never lets a single bad chunk take down a multi-hour sweep silently:
+every incident — a crashed worker, a chunk exception, a blown deadline,
+a quarantined cache entry — is classified under the :class:`SweepError`
+taxonomy and accounted for in a :class:`RunReport` that the CLI can
+persist via ``repro sweep --health-json``.  The report is plain data
+(deterministic JSON) so dashboards and the chaos CI job can diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SweepError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
+    "ChunkFailedError",
+    "ResumeError",
+    "RunReport",
+]
+
+
+class SweepError(RuntimeError):
+    """Base class for structured sweep-execution failures."""
+
+
+class WorkerCrashError(SweepError):
+    """A pool worker process died (OOM-kill, segfault, ``os._exit``)."""
+
+
+class ChunkTimeoutError(SweepError):
+    """A chunk missed its deadline and its worker was killed."""
+
+
+class ChunkFailedError(SweepError):
+    """A chunk failed every retry *and* the in-process serial fallback.
+
+    This is the only incident that aborts a sweep: it means the chunk is
+    deterministically broken (bad spec, code bug), not a transient
+    environment fault, so retrying elsewhere cannot help.
+    """
+
+
+class ResumeError(SweepError, ValueError):
+    """``--resume`` pointed at a journal whose recorded configuration
+    does not match the requested sweep (also a :class:`ValueError`, so
+    the CLI surfaces it as an actionable exit-2 message)."""
+
+
+# Incident kinds accounted under RunReport.retries.
+_RETRY_KINDS = ("crash", "error", "timeout")
+
+# Bound the per-incident event log so a pathological run cannot grow the
+# report without limit; the counters stay exact regardless.
+_MAX_EVENTS = 200
+
+
+@dataclass
+class RunReport:
+    """Aggregated health of one :func:`run_sweep` call.
+
+    Mutated in place by the engine (pass one in via ``report=``); every
+    field is plain data so :meth:`to_json` is deterministic for a given
+    run history.
+    """
+
+    engine: Dict[str, object] = field(default_factory=dict)
+    chunks_total: int = 0
+    chunks_completed: int = 0
+    chunks_resumed: int = 0
+    chunks_degraded: List[int] = field(default_factory=list)
+    retries: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in _RETRY_KINDS}
+    )
+    timeouts: int = 0
+    worker_respawns: int = 0
+    cache_quarantined: int = 0
+    wall_clock: Dict[str, float] = field(default_factory=dict)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    events_dropped: int = 0
+    status: str = "pending"
+
+    # -- incident accounting --------------------------------------------
+    def record_incident(
+        self, kind: str, chunk_id: int, attempt: int, detail: str = ""
+    ) -> None:
+        """Count one retryable incident (``crash``/``error``/``timeout``)."""
+        if kind not in self.retries:
+            self.retries[kind] = 0
+        self.retries[kind] += 1
+        if kind == "timeout":
+            self.timeouts += 1
+        if len(self.events) < _MAX_EVENTS:
+            self.events.append(
+                {"kind": kind, "chunk": chunk_id, "attempt": attempt,
+                 "detail": detail}
+            )
+        else:
+            self.events_dropped += 1
+
+    def record_degraded(self, chunk_id: int) -> None:
+        if chunk_id not in self.chunks_degraded:
+            self.chunks_degraded.append(chunk_id)
+
+    # -- phase timing ----------------------------------------------------
+    class _Phase:
+        def __init__(self, report: "RunReport", name: str):
+            self._report, self._name = report, name
+
+        def __enter__(self):
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            self._report.wall_clock[self._name] = round(
+                self._report.wall_clock.get(self._name, 0.0)
+                + time.perf_counter() - self._t0, 6
+            )
+            return False
+
+    def phase(self, name: str) -> "RunReport._Phase":
+        """``with report.phase("dispatch"): ...`` wall-clock accounting."""
+        return RunReport._Phase(self, name)
+
+    # -- serialisation ---------------------------------------------------
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": dict(self.engine),
+            "chunks": {
+                "total": self.chunks_total,
+                "completed": self.chunks_completed,
+                "resumed": self.chunks_resumed,
+                "degraded": sorted(self.chunks_degraded),
+            },
+            "retries": {k: self.retries[k] for k in sorted(self.retries)},
+            "total_retries": self.total_retries,
+            "timeouts": self.timeouts,
+            "worker_respawns": self.worker_respawns,
+            "cache_quarantined": self.cache_quarantined,
+            "wall_clock": {
+                k: self.wall_clock[k] for k in sorted(self.wall_clock)
+            },
+            "events": list(self.events),
+            "events_dropped": self.events_dropped,
+            "status": self.status,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")

@@ -1,0 +1,19 @@
+"""Bit-level SweepTable equality helper shared by the resilience suites."""
+
+import numpy as np
+
+
+def assert_bit_identical(a, b):
+    """Bit-level table equality: column order, dtypes, raw values
+    (categorical codes, not decoded strings) and category tables.
+
+    Raw ``.npz`` bytes are *not* compared — zip members carry mtimes —
+    but the contract is the same: ``to_npz`` serialises exactly these
+    arrays and category lists, nothing else.
+    """
+    assert a.names == b.names, "column sets differ"
+    for name in a.names:
+        ca, cb = a._columns[name], b._columns[name]
+        assert ca.dtype == cb.dtype, f"column {name!r} dtype differs"
+        np.testing.assert_array_equal(ca, cb, err_msg=f"column {name!r}")
+    assert a._categories == b._categories, "category tables differ"

@@ -1,0 +1,93 @@
+"""Cache corruption → quarantine: never silent deletion, never bad data.
+
+A corrupt ``<key>.npz``/``.json`` pair anywhere in the corpus must (a)
+leave the sweep bit-identical to a clean run — the entry is treated as a
+miss and rematerialised — and (b) move the damaged files into
+``quarantine/`` so the evidence survives for inspection.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.feature_space import build_dataset_specs
+from repro.devices import TESTBEDS
+from repro.pipeline import InstanceCache, RunReport, corrupt_file, run_sweep
+
+from tests.pipeline.golden import assert_bit_identical
+
+DEVICES = [TESTBEDS["Tesla-A100"]]
+MAX_NNZ = 5_000
+SPECS = build_dataset_specs("tiny")[::29]  # 7 specs
+
+
+def dataset(cache=None):
+    return Dataset(SPECS, max_nnz=MAX_NNZ, name="tiny", cache=cache)
+
+
+@pytest.fixture(scope="module")
+def golden_and_warm_cache(tmp_path_factory):
+    warm = tmp_path_factory.mktemp("warm-cache")
+    table = run_sweep(dataset(), DEVICES, cache_dir=str(warm))
+    return table, warm
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("suffix", [".npz", ".json"])
+    @pytest.mark.parametrize("mode", ["truncate", "flip"])
+    def test_corrupt_entry_mid_corpus(self, golden_and_warm_cache,
+                                      tmp_path, suffix, mode):
+        golden, warm = golden_and_warm_cache
+        cache_dir = tmp_path / "cache"
+        shutil.copytree(warm, cache_dir)
+        victims = sorted(cache_dir.glob(f"*{suffix}"))
+        victim = victims[len(victims) // 2]
+        corrupt_file(victim, mode=mode)
+
+        cache = InstanceCache(cache_dir)
+        rep = RunReport()
+        table = run_sweep(dataset(), DEVICES, cache=cache, report=rep)
+        assert_bit_identical(table, golden)
+        assert cache.quarantined == 1
+        assert rep.cache_quarantined == 1
+        # Both halves of the pair moved together (only valid as a pair).
+        moved = sorted(p.name for p in cache.quarantine_dir.iterdir())
+        assert victim.name in moved
+        assert len(moved) == 2
+        # The entry healed: the full corpus is back on disk, and the
+        # quarantine subdirectory does not inflate the census.
+        assert len(InstanceCache(cache_dir)) == len(SPECS)
+
+    def test_collisions_get_suffixes_not_overwritten(self, tmp_path):
+        spec = SPECS[0]
+        inst = Dataset([spec], max_nnz=MAX_NNZ, name="x").instance(0)
+        for _ in range(2):
+            store = InstanceCache(tmp_path)
+            store.store(spec, MAX_NNZ, inst)
+            next(tmp_path.glob("*.json")).write_text("{ torn")
+            fresh = InstanceCache(tmp_path)
+            assert fresh.fetch(spec, MAX_NNZ, name="x[0]") is None
+            assert fresh.quarantined == 1
+        names = sorted(p.name for p in (tmp_path / "quarantine").iterdir())
+        # npz+json moved twice; the second pair picked up ``.1`` suffixes
+        # instead of clobbering the first round's evidence.
+        assert len(names) == 4
+        assert sum(n.endswith(".1") for n in names) == 2
+        assert len(InstanceCache(tmp_path)) == 0
+
+    def test_worker_side_corrupt_fault(self, golden_and_warm_cache,
+                                       tmp_path):
+        """A ``corrupt`` fault fired inside a crew worker damages the
+        fault chunk's own cache entry; the worker quarantines it, re-
+        materialises, and its quarantine count reaches the RunReport."""
+        golden, warm = golden_and_warm_cache
+        cache_dir = tmp_path / "cache"
+        shutil.copytree(warm, cache_dir)
+        rep = RunReport()
+        table = run_sweep(dataset(), DEVICES, jobs=2,
+                          faults="corrupt@1;seed=3",
+                          cache_dir=str(cache_dir), report=rep)
+        assert_bit_identical(table, golden)
+        assert rep.cache_quarantined >= 1
+        assert list((cache_dir / "quarantine").iterdir())
