@@ -9,6 +9,9 @@ Six subcommands wrap the library's main workflows::
     repro validate   --ids 1,11,39 --device AMD-EPYC-24
     repro experiment --scale tiny --protocol kfold --out result.json
     repro experiment --table t.npz --protocol kfold --out result.json
+    repro pack       cache_dir/ [--prune]     (or: repro pack t.npz)
+    repro unpack     cache_dir/cache.rpak --out restored/
+    repro ls         cache_dir/cache.rpak [--verify]
 
 Every command prints human-readable tables; ``sweep`` persists the
 measurement table (``--format npz|csv|json``, default inferred from the
@@ -132,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("resilient", "pool"),
                    help="parallel dispatch engine (default resilient; "
                         "pool is the plain no-retry baseline)")
+    w.add_argument("--pack-shards", action="store_true",
+                   help="journal chunk shards into a single "
+                        "shards.rpak pack instead of one file per "
+                        "chunk (requires --run-dir; --resume follows "
+                        "the original run's layout)")
     w.add_argument("--out", required=True,
                    help="output table path (.npz lossless columnar, "
                         ".csv typed text, .json dict rows)")
@@ -191,6 +199,36 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--out", default=None,
                    help="write results to a .json (full, deterministic) "
                         "or .csv (per-fold summary) file")
+
+    p = sub.add_parser(
+        "pack",
+        help="fold a cache directory or saved sweep table into a "
+             "single .rpak pack",
+    )
+    p.add_argument("src",
+                   help="cache directory (from --cache-dir) or saved "
+                        "table (.npz from `repro sweep --out`)")
+    p.add_argument("--out", default=None,
+                   help="pack path (default: <src>/cache.rpak for a "
+                        "directory, <src>.rpak for a table)")
+    p.add_argument("--prune", action="store_true",
+                   help="after verifying every packed entry's checksum, "
+                        "remove the loose cache files the pack now "
+                        "serves (directories only)")
+
+    u = sub.add_parser(
+        "unpack",
+        help="expand a .rpak pack back into loose files / a table",
+    )
+    u.add_argument("pack", help=".rpak path")
+    u.add_argument("--out", required=True,
+                   help="destination: a directory for cache/shard "
+                        "packs, a table path (.npz) for table packs")
+
+    ls = sub.add_parser("ls", help="list the entries of a .rpak pack")
+    ls.add_argument("pack", help=".rpak path")
+    ls.add_argument("--verify", action="store_true",
+                    help="also read every entry and check its checksum")
     return parser
 
 
@@ -314,6 +352,7 @@ def _cmd_sweep(args) -> int:
             jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch,
             fused=args.fused,
             run_dir=run_dir, resume=bool(args.resume),
+            pack_shards=args.pack_shards,
             faults=args.faults, chunk_timeout=args.chunk_timeout,
             max_retries=args.max_retries, report=report,
             dispatch=args.dispatch,
@@ -469,6 +508,128 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+_TABLE_PREFIX = "table/"
+_CHUNK_RE = r"chunk-(\d{6})/"
+
+
+def _cmd_pack(args) -> int:
+    from pathlib import Path
+
+    src = Path(args.src)
+    if not src.exists():
+        raise ValueError(
+            f"{src} does not exist; point `repro pack` at a cache "
+            "directory (--cache-dir) or a saved sweep table (.npz)"
+        )
+    if src.is_dir():
+        from .pipeline.cache import pack_cache_dir
+
+        entries, out = pack_cache_dir(
+            src, out=args.out, prune=args.prune
+        )
+        what = f"{entries} cache entr{'y' if entries == 1 else 'ies'}"
+        if args.prune:
+            what += " (loose pairs pruned)"
+    else:
+        if args.prune:
+            raise ValueError(
+                "--prune only applies to cache directories; a packed "
+                "table never shadows loose files"
+            )
+        from .io import load_table
+        from .io.pack import PackWriter
+
+        table = load_table(src)
+        out = Path(args.out) if args.out else src.with_suffix(".rpak")
+        blobs = table.to_blobs(prefix=_TABLE_PREFIX)
+        with PackWriter.create(out) as writer:
+            for key in sorted(blobs):
+                kind = "meta" if key.endswith("__meta__") else "col"
+                writer.add(key, kind, blobs[key])
+        what = f"{len(table)} table rows ({len(blobs)} column blobs)"
+    print(f"packed {what} into {out} ({out.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_unpack(args) -> int:
+    import re
+    from pathlib import Path
+
+    from .core.table import SweepTable
+    from .io.pack import Pack
+
+    out = Path(args.out)
+    with Pack.open(args.pack) as pack:
+        keys = pack.keys()
+        if any(key.startswith(_TABLE_PREFIX) for key in keys):
+            if out.suffix != ".npz":
+                raise ValueError(
+                    f"{args.pack} holds a packed table; --out must be "
+                    "an .npz path (tables unpack to the lossless "
+                    "columnar format)"
+                )
+            table = SweepTable.from_blobs(
+                {k: pack.read(k) for k in keys
+                 if k.startswith(_TABLE_PREFIX)},
+                prefix=_TABLE_PREFIX,
+            )
+            out.parent.mkdir(parents=True, exist_ok=True)
+            table.to_npz(out)
+            print(f"unpacked {len(table)} table rows to {out}")
+            return 0
+        chunk_ids = sorted({
+            m.group(1) for m in
+            (re.match(_CHUNK_RE, key) for key in keys) if m
+        })
+        if chunk_ids:
+            out.mkdir(parents=True, exist_ok=True)
+            for cid in chunk_ids:
+                prefix = f"chunk-{cid}/"
+                table = SweepTable.from_blobs(
+                    {k: pack.read(k) for k in keys
+                     if k.startswith(prefix)},
+                    prefix=prefix,
+                )
+                table.to_npz(out / f"chunk-{cid}.npz")
+            print(
+                f"unpacked {len(chunk_ids)} chunk shards to {out}"
+            )
+            return 0
+    from .pipeline.cache import unpack_cache
+
+    written = unpack_cache(args.pack, out)
+    print(f"unpacked {written} cache files to {out}")
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    from pathlib import Path
+
+    from .io.pack import PACK_VERSION, Pack
+
+    path = Path(args.pack)
+    with Pack.open(path) as pack:
+        records = pack.records()
+        live = set(pack.keys())
+        print(
+            f"{path}: pack v{PACK_VERSION}, {len(live)} entries "
+            f"({len(records)} records), {path.stat().st_size} bytes"
+        )
+        print(f"{'KEY':<40} {'KIND':<6} {'SIZE':>10} {'STORED':>10}")
+        last = {rec.key: i for i, rec in enumerate(records)}
+        for i, rec in enumerate(records):
+            marker = "" if last[rec.key] == i else "  (shadowed)"
+            print(
+                f"{rec.key:<40} {rec.kind:<6} {rec.osize:>10} "
+                f"{rec.csize:>10}{marker}"
+            )
+        if args.verify:
+            for key in pack.keys():
+                pack.read(key)  # raises PackError on any bad checksum
+            print("all checksums verified")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "features": _cmd_features,
@@ -476,6 +637,9 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
+    "pack": _cmd_pack,
+    "unpack": _cmd_unpack,
+    "ls": _cmd_ls,
 }
 
 

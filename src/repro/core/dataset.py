@@ -395,6 +395,7 @@ def sweep(
     fused: bool = False,
     run_dir: Optional[str] = None,
     resume: bool = False,
+    pack_shards: bool = False,
     faults=None,
     chunk_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
@@ -423,7 +424,8 @@ def sweep(
     every path funnels through :func:`repro.pipeline.run_sweep`.
 
     Resilience controls pass straight through to the engine: ``run_dir``
-    journals completed chunks (``resume=True`` skips them on a rerun),
+    journals completed chunks (``resume=True`` skips them on a rerun,
+    ``pack_shards`` stores them in a single ``shards.rpak`` pack),
     ``chunk_timeout``/``max_retries`` set the per-chunk deadline and
     retry budget, ``faults`` arms a deterministic
     :class:`~repro.pipeline.faults.FaultPlan`, ``report`` receives a
@@ -437,7 +439,8 @@ def sweep(
         dataset, devices, best_only=best_only, formats=formats,
         seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress,
         batch=batch, precision=precision, fused=fused,
-        run_dir=run_dir, resume=resume, faults=faults,
+        run_dir=run_dir, resume=resume, pack_shards=pack_shards,
+        faults=faults,
         chunk_timeout=chunk_timeout, max_retries=max_retries,
         report=report, dispatch=dispatch,
     )

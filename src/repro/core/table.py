@@ -19,11 +19,13 @@ behaviour.  See ``docs/table_schema.md`` for the full schema.
 
 from __future__ import annotations
 
+import io
+import json
 import zipfile
 from pathlib import Path
 from typing import (
-    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
-    Union,
+    Callable, Dict, Iterable, Iterator, List, Mapping, Optional,
+    Sequence, Tuple, Union,
 )
 
 import numpy as np
@@ -36,6 +38,8 @@ __all__ = [
     "INT_COLUMNS",
     "FLOAT_COLUMNS",
     "COLUMN_ORDER",
+    "encode_column",
+    "decode_column",
 ]
 
 # Bump on any change to the column set, dtypes, categorical encoding or
@@ -73,6 +77,62 @@ _CODE_DTYPE = np.int32
 
 class SchemaVersionError(ValueError):
     """A persisted table was written under an incompatible schema."""
+
+
+def encode_column(arr: np.ndarray) -> bytes:
+    """Self-describing column blob: one JSON descriptor line (dtype,
+    shape) followed by the raw array bytes.
+
+    The inverse, :func:`decode_column`, reconstructs the array with
+    ``np.frombuffer`` — zero-copy when the blob is a memoryview into a
+    mapped pack file, which is how pack-backed shards read columns.
+    """
+    arr = np.ascontiguousarray(arr)
+    header = json.dumps(
+        {"dtype": arr.dtype.str, "shape": list(arr.shape)},
+        sort_keys=True,
+    ).encode() + b"\n"
+    return header + arr.tobytes()
+
+
+def decode_column(blob) -> np.ndarray:
+    """Rebuild a column from :func:`encode_column` bytes (or any
+    buffer, e.g. an mmap-backed memoryview — the data is not copied)."""
+    view = memoryview(blob)
+    raw = bytes(view[:min(len(view), 256)])
+    end = raw.find(b"\n")
+    if end < 0:
+        raise ValueError(
+            "column blob has no descriptor line; it was not written by "
+            "encode_column"
+        )
+    desc = json.loads(raw[:end])
+    dtype = np.dtype(desc["dtype"])
+    arr = np.frombuffer(view[end + 1:], dtype=dtype)
+    return arr.reshape(desc["shape"])
+
+
+def _write_npz(fh, payload: Dict[str, np.ndarray]) -> None:
+    """Deterministic NPZ: fixed member order, fixed timestamps.
+
+    ``np.savez_compressed`` stamps each zip member with the wall clock,
+    so two writes of the same table differ byte-for-byte.  Pack
+    round-trips (``repro pack``/``unpack``) promise byte-identical
+    re-serialisation, so the table writes its own zip members with a
+    pinned epoch; ``np.load`` reads the result like any other NPZ.
+    """
+    with zipfile.ZipFile(fh, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, arr in payload.items():
+            buf = io.BytesIO()
+            np.lib.format.write_array(
+                buf, np.asanyarray(arr), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(
+                name + ".npy", date_time=(1980, 1, 1, 0, 0, 0)
+            )
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o600 << 16
+            zf.writestr(info, buf.getvalue())
 
 
 def _value_dtype(name: str, values) -> np.dtype:
@@ -484,7 +544,13 @@ class SweepTable:
 
     # -- persistence ---------------------------------------------------
     def to_npz(self, path: Union[str, Path]) -> None:
-        """Lossless NPZ persistence (layout in docs/table_schema.md)."""
+        """Lossless NPZ persistence (layout in docs/table_schema.md).
+
+        The write is deterministic: equal tables serialise to equal
+        bytes (pinned zip timestamps, stable member order), which is
+        what lets ``repro pack``/``unpack`` promise byte-identical
+        round trips of saved tables.
+        """
         payload: Dict[str, np.ndarray] = {
             "__schema_version__": np.int64(SCHEMA_VERSION),
             "__columns__": np.array(self.names, dtype=np.str_),
@@ -496,7 +562,83 @@ class SweepTable:
                     self._categories[name], dtype=np.str_
                 )
         with open(path, "wb") as fh:
-            np.savez_compressed(fh, **payload)
+            _write_npz(fh, payload)
+
+    def to_blobs(self, prefix: str = "") -> Dict[str, bytes]:
+        """The table as named column blobs (the pack-entry projection).
+
+        One ``__meta__`` JSON blob (schema version, column order,
+        categorical set) plus one :func:`encode_column` blob per column
+        array and per category list.  ``prefix`` namespaces the blobs
+        so many tables (e.g. journal shards) share one pack.
+        """
+        meta = {
+            "schema_version": SCHEMA_VERSION,
+            "columns": self.names,
+            "categorical": [
+                n for n in self.names if n in self._categories
+            ],
+        }
+        blobs: Dict[str, bytes] = {
+            f"{prefix}__meta__": json.dumps(meta, sort_keys=True).encode()
+        }
+        for name in self.names:
+            blobs[f"{prefix}col:{name}"] = encode_column(
+                self._columns[name]
+            )
+            if name in self._categories:
+                blobs[f"{prefix}cat:{name}"] = encode_column(
+                    np.array(self._categories[name], dtype=np.str_)
+                )
+        return blobs
+
+    @classmethod
+    def from_blobs(
+        cls, blobs: Mapping[str, object], prefix: str = ""
+    ) -> "SweepTable":
+        """Rebuild a table from :meth:`to_blobs` output.
+
+        ``blobs`` maps blob name to any buffer (bytes, or memoryviews
+        straight out of a mapped pack — columns then reference the map
+        without copying).  Raises :class:`SchemaVersionError` on
+        version drift or missing blobs, mirroring :meth:`from_npz`.
+        """
+        meta_key = f"{prefix}__meta__"
+        if meta_key not in blobs:
+            raise SchemaVersionError(
+                f"no {meta_key!r} blob; these entries were not written "
+                "by SweepTable.to_blobs (or the prefix is wrong)"
+            )
+        meta = json.loads(bytes(memoryview(blobs[meta_key])))
+        version = meta.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"table blobs use schema version {version}, but this "
+                f"build reads version {SCHEMA_VERSION}; regenerate the "
+                "pack with `repro sweep`/`repro pack` from this build"
+            )
+        columns: Dict[str, np.ndarray] = {}
+        categories: Dict[str, List[str]] = {}
+        categorical = set(meta.get("categorical", ()))
+        for name in meta["columns"]:
+            key = f"{prefix}col:{name}"
+            if key not in blobs:
+                raise SchemaVersionError(
+                    f"missing column blob {key!r}; the pack is "
+                    "incomplete — regenerate it"
+                )
+            columns[name] = decode_column(blobs[key])
+            if name in categorical:
+                cat_key = f"{prefix}cat:{name}"
+                if cat_key not in blobs:
+                    raise SchemaVersionError(
+                        f"missing category blob {cat_key!r}; the pack "
+                        "is incomplete — regenerate it"
+                    )
+                categories[name] = [
+                    str(c) for c in decode_column(blobs[cat_key])
+                ]
+        return cls(columns, categories)
 
     @classmethod
     def from_npz(cls, path: Union[str, Path]) -> "SweepTable":

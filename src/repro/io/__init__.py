@@ -1,4 +1,9 @@
-"""I/O: MatrixMarket matrices, CSV measurement tables, table persistence."""
+"""I/O: MatrixMarket matrices, CSV measurement tables, table
+persistence, and the single-file binary pack store."""
 from .mtx import read_mtx, write_mtx
 from .csvio import write_rows, read_rows, write_table, read_table
 from .tableio import save_table, load_table, TABLE_FORMATS
+from .pack import (
+    PACK_MAGIC, PACK_VERSION, Pack, PackEntry, PackError,
+    PackVersionError, PackWriter, append_entries, compact,
+)

@@ -50,21 +50,57 @@ def read_mtx(path: Union[str, Path]) -> CSRMatrix:
         if symmetry not in _SYMMETRIES:
             raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
 
+        # Blank and %-comment lines are legal anywhere after the banner
+        # — before the size line and interleaved with coordinate data.
         line = fh.readline()
-        while line.startswith("%"):
+        while line and (not line.strip()
+                        or line.lstrip().startswith("%")):
             line = fh.readline()
-        n_rows, n_cols, nnz = (int(t) for t in line.split())
+        if not line:
+            raise ValueError(f"{path}: truncated before the size line")
+        try:
+            n_rows, n_cols, nnz = (int(t) for t in line.split())
+        except ValueError:
+            raise ValueError(
+                f"{path}: malformed size line {line.strip()!r}"
+            ) from None
 
-        rows = np.empty(nnz, dtype=np.int64)
-        cols = np.empty(nnz, dtype=np.int64)
-        vals = np.empty(nnz, dtype=np.float64)
-        for k in range(nnz):
-            toks = fh.readline().split()
-            if len(toks) < 2:
-                raise ValueError(f"{path}: truncated at entry {k}")
-            rows[k] = int(toks[0]) - 1
-            cols[k] = int(toks[1]) - 1
-            vals[k] = float(toks[2]) if field != "pattern" else 1.0
+        want_cols = 2 if field == "pattern" else 3
+        if nnz == 0:
+            rows = np.empty(0, dtype=np.int64)
+            cols = np.empty(0, dtype=np.int64)
+            vals = np.empty(0, dtype=np.float64)
+        else:
+            # Bulk-parse the whole coordinate section in one pass
+            # (np.loadtxt skips blank lines and strips % comments), so
+            # SuiteSparse-scale files avoid a Python-level loop over
+            # millions of readline() calls.
+            try:
+                entries = np.loadtxt(fh, comments="%", ndmin=2)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}: malformed coordinate data ({exc})"
+                ) from None
+            found = 0 if entries.size == 0 else entries.shape[0]
+            if found < nnz:
+                raise ValueError(
+                    f"{path}: truncated coordinate data "
+                    f"({found} of {nnz} entries)"
+                )
+            if entries.shape[1] < want_cols:
+                raise ValueError(
+                    f"{path}: malformed coordinate data (expected "
+                    f"{want_cols} columns for field {field!r}, found "
+                    f"{entries.shape[1]})"
+                )
+            entries = entries[:nnz]
+            rows = entries[:, 0].astype(np.int64) - 1
+            cols = entries[:, 1].astype(np.int64) - 1
+            vals = (
+                entries[:, 2].astype(np.float64)
+                if field != "pattern"
+                else np.ones(nnz, dtype=np.float64)
+            )
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols

@@ -10,14 +10,26 @@ function of the :class:`~repro.core.generator.MatrixSpec` (plus the
 * :func:`spec_key` — a stable hash of the spec's fields.  Everything that
   influences the generated structure is part of the key; dataset names and
   spec indices are not (they only label rows).
-* :class:`InstanceCache` — a two-level store.  The first level is an
+* :class:`InstanceCache` — a layered store.  The first level is an
   in-process dictionary (shared by every :class:`~repro.core.dataset.Dataset`
-  holding the cache).  The second level is a directory of
+  holding the cache).  The second level is the directory of
   ``<key>.npz`` + ``<key>.json`` pairs holding the CSR arrays / row profile
   and the derived statistics (features, per-format stats and refusals,
   SIMD-utilisation and imbalance memos).  Files are written atomically
   (temp file + ``os.replace``) so concurrent sweep workers can share one
-  cache directory without locking.
+  cache directory without locking.  The third level is an optional
+  single-file *pack* (``cache.rpak``, see :mod:`repro.io.pack`): when the
+  directory holds one, entries missing from the directory are served
+  straight out of the pack — one mapped file, dict lookups, no per-key
+  probing — which is how a corpus packed with ``repro pack`` ships as a
+  single object.  Loose pairs always win over the pack (they are never
+  older: the pack is a snapshot, later stores write pairs), and stores
+  keep writing pairs, so the pack needs no write locking.
+
+Corrupt entries — loose pairs, pack entries, or the pack file itself —
+are *quarantined*, never deleted: the evidence moves (or is copied) into
+``quarantine/`` under an atomically reserved name, the incident is
+counted, and the entry is simply rematerialised.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ import os
 import tempfile
 import zipfile
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,9 +51,13 @@ from ..core.generator import MatrixSpec
 from ..core.matrix import CSRMatrix
 from ..devices.parallel import ImbalanceStats
 from ..formats.base import FormatStats
+from ..io.pack import Pack, PackError, PackWriter
 from ..perfmodel.instance import MatrixInstance
 
-__all__ = ["spec_key", "InstanceCache", "CACHE_VERSION"]
+__all__ = [
+    "spec_key", "InstanceCache", "CACHE_VERSION", "PACK_NAME",
+    "pack_cache_dir", "unpack_cache",
+]
 
 # Bump when the generator or the cached payload layout changes behaviour:
 # the key changes, so stale entries are simply never looked up again.
@@ -51,6 +67,9 @@ __all__ = ["spec_key", "InstanceCache", "CACHE_VERSION"]
 # sidecar should record which engine filled them, so pre-existing cache
 # dirs are invalidated cleanly rather than silently mixed.
 CACHE_VERSION = 2
+
+# The single-file pack a cache directory may carry (``repro pack``).
+PACK_NAME = "cache.rpak"
 
 
 def spec_key(spec: MatrixSpec, max_nnz: int) -> str:
@@ -125,7 +144,7 @@ def _json_signature(inst: MatrixInstance) -> tuple:
 
 
 class InstanceCache:
-    """Two-level (memory + directory) cache of materialised instances."""
+    """Layered (memory + directory + pack) cache of instances."""
 
     def __init__(self, root, keep_in_memory: bool = True):
         self.root = Path(root)
@@ -140,12 +159,20 @@ class InstanceCache:
         # Whether the on-disk NPZ is known to carry a row profile (the CSR
         # arrays themselves are content-keyed, so they never change).
         self._disk_npz_profile: Dict[str, bool] = {}
+        # Complete-entry census (lazy; maintained by store/quarantine).
+        self._census: Optional[Set[str]] = None
         self.hits_memory = 0
         self.hits_disk = 0
+        self.hits_pack = 0
         self.misses = 0
         # Corrupt entries detected by this handle (moved, not deleted);
         # the sweep RunReport aggregates these counts across workers.
         self.quarantined = 0
+        # Pack entries this handle found corrupt (never re-read).
+        self._pack_bad: Set[str] = set()
+        self._pack: Optional[Pack] = None
+        if self.pack_path.exists():
+            self._open_pack()
 
     # -- paths -----------------------------------------------------------
     def _npz_path(self, key: str) -> Path:
@@ -155,8 +182,22 @@ class InstanceCache:
         return self.root / f"{key}.json"
 
     @property
+    def pack_path(self) -> Path:
+        return self.root / PACK_NAME
+
+    @property
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
+
+    def _open_pack(self) -> None:
+        """Open ``cache.rpak``; a pack that fails validation (bad magic,
+        truncation, checksum, version drift) is quarantined — moved, not
+        deleted — and the cache continues on the directory layout."""
+        try:
+            self._pack = Pack.open(self.pack_path)
+        except PackError:
+            self._pack = None
+            self._quarantine(self.pack_path)
 
     # -- fetch -----------------------------------------------------------
     def fetch(
@@ -178,13 +219,21 @@ class InstanceCache:
         inst = self._load_disk(key, spec, name)
         if inst is not None:
             self.hits_disk += 1
-            if self.keep_in_memory:
-                self._mem[key] = inst
-            self._disk_json_sig[key] = _json_signature(inst)
-            self._disk_npz_profile[key] = inst._profile is not None
+            self._remember(key, inst)
+            return inst
+        inst = self._load_pack(key, spec, name)
+        if inst is not None:
+            self.hits_pack += 1
+            self._remember(key, inst)
             return inst
         self.misses += 1
         return None
+
+    def _remember(self, key: str, inst: MatrixInstance) -> None:
+        if self.keep_in_memory:
+            self._mem[key] = inst
+        self._disk_json_sig[key] = _json_signature(inst)
+        self._disk_npz_profile[key] = inst._profile is not None
 
     def _load_disk(
         self, key: str, spec: MatrixSpec, name: str
@@ -194,18 +243,7 @@ class InstanceCache:
             return None
         try:
             with np.load(npz_path) as npz:
-                matrix = CSRMatrix(
-                    int(npz["n_rows"]),
-                    int(npz["n_cols"]),
-                    npz["indptr"],
-                    npz["indices"],
-                    npz["data"],
-                )
-                profile = (
-                    npz["profile"].astype(np.int64)
-                    if "profile" in npz.files
-                    else None
-                )
+                matrix, profile = self._parse_arrays(npz)
             meta = json.loads(json_path.read_text())
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
             # Partial/corrupt entry: treat as a miss and quarantine both
@@ -214,6 +252,65 @@ class InstanceCache:
             # entry cleanly.
             self._quarantine(npz_path, json_path)
             return None
+        return self._build(matrix, profile, meta, spec, name)
+
+    def _load_pack(
+        self, key: str, spec: MatrixSpec, name: str
+    ) -> Optional[MatrixInstance]:
+        """Entry served out of the single-file pack (one dict lookup per
+        half, zero directory probing).
+
+        A pack entry that fails its checksum or does not parse is
+        quarantined as evidence — its raw bytes are *copied* out into
+        ``quarantine/`` (the pack itself is shared and read-only) — and
+        the key is remembered as bad so it is never re-read.
+        """
+        pack = self._pack
+        if pack is None or key in self._pack_bad:
+            return None
+        npz_key, json_key = f"{key}.npz", f"{key}.json"
+        if npz_key not in pack or json_key not in pack:
+            return None
+        try:
+            # BytesIO accepts the zero-copy memoryview directly (one
+            # copy into its buffer instead of two through bytes()).
+            with np.load(io.BytesIO(pack.read(npz_key))) as npz:
+                matrix, profile = self._parse_arrays(npz)
+            meta = json.loads(bytes(pack.read(json_key)))
+        except (PackError, OSError, ValueError, KeyError,
+                zipfile.BadZipFile):
+            self._pack_bad.add(key)
+            evidence = []
+            for entry_key in (npz_key, json_key):
+                try:
+                    evidence.append(
+                        (entry_key,
+                         bytes(pack.read(entry_key, verify=False)))
+                    )
+                except (PackError, KeyError, OSError):
+                    continue
+            self._quarantine_bytes(evidence)
+            return None
+        return self._build(matrix, profile, meta, spec, name)
+
+    @staticmethod
+    def _parse_arrays(npz) -> Tuple[CSRMatrix, Optional[np.ndarray]]:
+        matrix = CSRMatrix(
+            int(npz["n_rows"]),
+            int(npz["n_cols"]),
+            npz["indptr"],
+            npz["indices"],
+            npz["data"],
+        )
+        profile = (
+            npz["profile"].astype(np.int64)
+            if "profile" in npz.files
+            else None
+        )
+        return matrix, profile
+
+    @staticmethod
+    def _build(matrix, profile, meta, spec, name) -> MatrixInstance:
         inst = MatrixInstance(matrix=matrix, spec=spec, name=name)
         if meta.get("features") is not None:
             inst._features = Features(**meta["features"])
@@ -236,16 +333,44 @@ class InstanceCache:
             )
         return inst
 
+    # -- quarantine ------------------------------------------------------
+    def _reserve_quarantine_name(self, name: str) -> Optional[Path]:
+        """Atomically reserve ``quarantine/<name>[.N]``.
+
+        ``O_CREAT | O_EXCL`` makes the reservation itself the race
+        arbiter: two workers quarantining same-named evidence at the
+        same instant get *different* suffixes, where the old
+        ``while target.exists()`` probe let both pick the same ``.N``
+        and silently clobber one worker's evidence.
+        """
+        suffix = 0
+        while True:
+            target = self.quarantine_dir / (
+                name if suffix == 0 else f"{name}.{suffix}"
+            )
+            try:
+                fd = os.open(
+                    target, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                suffix += 1
+                continue
+            except OSError:
+                return None
+            os.close(fd)
+            return target
+
     def _quarantine(self, *paths: Path) -> None:
         """Move a corrupt entry's files into ``quarantine/`` and count
         the incident.
 
-        The move (``os.replace``) is atomic on the same filesystem, so
-        concurrent workers race benignly: whoever moves first wins, the
-        loser's missing-source ``OSError`` is tolerated.  A vanished
-        quarantine directory or a cross-device link error must not take
-        the sweep down either — detection is counted even if the move
-        itself fails.
+        The name is reserved exclusively first, then ``os.replace``
+        (atomic on the same filesystem) moves the evidence over the
+        reservation.  Concurrent workers race benignly: whoever moves a
+        source first wins, the loser's missing-source ``OSError`` is
+        tolerated.  A vanished quarantine directory or a cross-device
+        link error must not take the sweep down either — detection is
+        counted even if the move itself fails.
         """
         self.quarantined += 1
         try:
@@ -255,15 +380,46 @@ class InstanceCache:
         for path in paths:
             if not path.exists():
                 continue
-            target = self.quarantine_dir / path.name
-            suffix = 0
-            while target.exists():
-                suffix += 1
-                target = self.quarantine_dir / f"{path.name}.{suffix}"
+            target = self._reserve_quarantine_name(path.name)
+            if target is None:
+                continue
             try:
                 os.replace(path, target)
             except OSError:
+                try:
+                    os.unlink(target)  # release the unused reservation
+                except OSError:
+                    pass
+            else:
+                self._forget_census(path.name)
+
+    def _quarantine_bytes(self, evidence) -> None:
+        """Copy corrupt pack-entry bytes into ``quarantine/`` — one
+        counted incident per entry pair (the pack is shared and
+        read-only, so evidence is copied, not moved)."""
+        self.quarantined += 1
+        try:
+            self.quarantine_dir.mkdir(exist_ok=True)
+        except OSError:
+            return
+        for name, payload in evidence:
+            target = self._reserve_quarantine_name(name)
+            if target is None:
+                continue
+            try:
+                target.write_bytes(payload)
+            except OSError:
                 pass
+            self._forget_census(name)
+
+    def _forget_census(self, file_name: str) -> None:
+        if self._census is None:
+            return
+        stem = file_name.rsplit(".", 1)[0]
+        for suffix in (".npz", ".json"):
+            if file_name.endswith(suffix):
+                stem = file_name[: -len(suffix)]
+        self._census.discard(stem)
 
     # -- store -----------------------------------------------------------
     def store(
@@ -275,7 +431,10 @@ class InstanceCache:
         The NPZ (CSR arrays + profile) and the JSON sidecar (derived
         statistics) are tracked separately: the arrays are fixed by the
         content key, so adding e.g. one more imbalance memo only rewrites
-        the small JSON file, never the multi-MB matrix payload.
+        the small JSON file, never the multi-MB matrix payload.  Entries
+        already served by the pack are not duplicated into the
+        directory unless they gained state the pack lacks (the pack is
+        read-only; loose pairs shadow it on fetch).
         """
         key = spec_key(spec, max_nnz)
         if self.keep_in_memory:
@@ -284,8 +443,15 @@ class InstanceCache:
         wrote = False
         have_profile = inst._profile is not None
         npz_path = self._npz_path(key)
-        need_npz = not npz_path.exists() or (
-            have_profile and self._disk_npz_profile.get(key) is not True
+        pack_has_npz = (
+            self._pack is not None
+            and f"{key}.npz" in self._pack
+            and key not in self._pack_bad
+        )
+        need_npz = (
+            not (npz_path.exists() or pack_has_npz)
+            or (have_profile
+                and self._disk_npz_profile.get(key) is not True)
         )
         if need_npz:
             arrays = {
@@ -305,6 +471,8 @@ class InstanceCache:
 
         sig = _json_signature(inst)
         if self._disk_json_sig.get(key) == sig:
+            if wrote and self._census is not None:
+                self._census.add(key)
             return wrote
 
         meta = {
@@ -332,6 +500,8 @@ class InstanceCache:
             json.dumps(meta, default=_to_py).encode(),
         )
         self._disk_json_sig[key] = sig
+        if self._census is not None:
+            self._census.add(key)
         return True
 
     # -- maintenance -----------------------------------------------------
@@ -339,5 +509,106 @@ class InstanceCache:
         """Release the in-process layer (disk entries stay)."""
         self._mem.clear()
 
+    def _complete_keys(self) -> Set[str]:
+        """Content keys with both halves present (directory or pack)."""
+        complete = _complete_keys_static(self.root)
+        if self._pack is not None:
+            pack_keys = set(self._pack.keys())
+            complete |= {
+                k[:-4] for k in pack_keys
+                if k.endswith(".npz")
+                and f"{k[:-4]}.json" in pack_keys
+                and k[:-4] not in self._pack_bad
+            }
+        return complete
+
     def __len__(self) -> int:
-        return len(list(self.root.glob("*.npz")))
+        """Complete entries visible to this handle.
+
+        Counts only ``.npz``+``.json`` *pairs* (an orphaned half —
+        e.g. a crash between the two atomic writes — is not a usable
+        entry) plus packed entries.  The census is one directory scan,
+        taken lazily and then maintained by ``store``/quarantine, so
+        repeated calls cost O(1) instead of re-listing the directory.
+        """
+        if self._census is None:
+            self._census = self._complete_keys()
+        return len(self._census)
+
+
+# -- pack conversion ---------------------------------------------------------
+def pack_cache_dir(
+    root, out=None, prune: bool = False
+) -> Tuple[int, Path]:
+    """Fold a cache directory's complete entry pairs into a single-file
+    pack (default ``<root>/cache.rpak``); returns ``(entries, path)``.
+
+    File bytes are stored verbatim (NPZ raw, JSON deflated), so
+    :func:`unpack_cache` reproduces the original files byte-identically.
+    With ``prune``, the loose pairs are removed *after* the sealed pack
+    has been re-opened and every entry's checksum re-verified against
+    it — the pack then serves the whole corpus by itself.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ValueError(
+            f"{root} is not a cache directory; point `repro pack` at a "
+            "--cache-dir previously filled by `repro sweep`"
+        )
+    out = Path(out) if out is not None else root / PACK_NAME
+    keys = sorted(_complete_keys_static(root))
+    with PackWriter.create(out) as writer:
+        for key in keys:
+            writer.add(
+                f"{key}.npz", "npz",
+                (root / f"{key}.npz").read_bytes(),
+            )
+            writer.add(
+                f"{key}.json", "json",
+                (root / f"{key}.json").read_bytes(),
+                compress=True,
+            )
+    if prune:
+        with Pack.open(out) as pack:
+            for key in keys:
+                pack.read(f"{key}.npz")   # checksum re-verified
+                pack.read(f"{key}.json")
+        for key in keys:
+            for path in (root / f"{key}.npz", root / f"{key}.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+    return len(keys), out
+
+
+def _complete_keys_static(root: Path) -> Set[str]:
+    npz_stems: Set[str] = set()
+    json_stems: Set[str] = set()
+    with os.scandir(root) as it:
+        for entry in it:
+            name = entry.name
+            if name.endswith(".npz"):
+                npz_stems.add(name[:-4])
+            elif name.endswith(".json"):
+                json_stems.add(name[:-5])
+    return npz_stems & json_stems
+
+
+def unpack_cache(pack_path, out_dir) -> int:
+    """Write every ``npz``/``json`` entry of a pack back out as loose
+    files (byte-identical to what :func:`pack_cache_dir` read); returns
+    the number of files written."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with Pack.open(pack_path) as pack:
+        for key in pack.keys():
+            entry = pack.entry(key)
+            if entry.kind not in ("npz", "json"):
+                continue
+            _atomic_write_bytes(
+                out_dir / key, bytes(pack.read(key))
+            )
+            written += 1
+    return written

@@ -612,6 +612,7 @@ def run_sweep(
     fused: bool = False,
     run_dir: Optional[str] = None,
     resume: bool = False,
+    pack_shards: bool = False,
     faults: Optional[Union[str, FaultPlan]] = None,
     chunk_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
@@ -632,7 +633,10 @@ def run_sweep(
     experiment runner sweeps one precision slice at a time.
 
     Resilience controls (resilient dispatch only): ``run_dir`` journals
-    completed chunks for ``resume=True``; ``chunk_timeout`` is the
+    completed chunks for ``resume=True`` (``pack_shards`` stores them in
+    a single ``shards.rpak`` pack instead of one file per chunk; resume
+    always follows the layout journalled at create time, so the flag is
+    ignored when resuming); ``chunk_timeout`` is the
     per-chunk deadline in seconds (``None`` → no deadline);
     ``max_retries`` caps re-dispatches per chunk before the in-process
     serial fallback; ``faults`` arms a deterministic
@@ -654,8 +658,8 @@ def run_sweep(
             table = _run_sweep_inner(
                 dataset, devices, best_only, formats, seed, jobs,
                 cache_dir, cache, progress, batch, precision, fused,
-                run_dir, resume, faults, chunk_timeout, max_retries,
-                rep, dispatch, journal_holder,
+                run_dir, resume, pack_shards, faults, chunk_timeout,
+                max_retries, rep, dispatch, journal_holder,
             )
         rep.status = "complete"
         if journal_holder[0] is not None:
@@ -675,8 +679,8 @@ def run_sweep(
 
 def _run_sweep_inner(
     dataset, devices, best_only, formats, seed, jobs, cache_dir, cache,
-    progress, batch, precision, fused, run_dir, resume, faults,
-    chunk_timeout, max_retries, rep, dispatch, journal_holder,
+    progress, batch, precision, fused, run_dir, resume, pack_shards,
+    faults, chunk_timeout, max_retries, rep, dispatch, journal_holder,
 ) -> SweepTable:
     if fused and not batch:
         raise ValueError("fused sweeps require batch=True")
@@ -708,6 +712,10 @@ def _run_sweep_inner(
         "fused": bool(fused), "precision": precision, "n_specs": n,
         "max_retries": max_retries, "chunk_timeout": chunk_timeout,
         "journalled": run_dir is not None, "resumed": bool(resume),
+        "shards": (
+            None if run_dir is None
+            else "pack" if pack_shards and not resume else "dir"
+        ),
     }
 
     # -- journal / resume ------------------------------------------------
@@ -721,12 +729,16 @@ def _run_sweep_inner(
             journal = RunJournal.load(run_dir)
             journal.check_config(config)
             bounds = journal.bounds
+            rep.engine["shards"] = journal.shard_store
             with rep.phase("resume_load"):
                 completed = journal.completed_chunks()
             rep.chunks_resumed = len(completed)
         else:
             bounds = _chunk_bounds(n, jobs * _CHUNKS_PER_JOB)
-            journal = RunJournal.create(run_dir, config, bounds)
+            journal = RunJournal.create(
+                run_dir, config, bounds,
+                shard_store="pack" if pack_shards else "dir",
+            )
         journal_holder[0] = journal
 
     def on_chunk_done(state: _ChunkState, table: SweepTable) -> None:

@@ -85,6 +85,85 @@ class TestMtx:
         with pytest.raises(ValueError, match="truncated"):
             read_mtx(path)
 
+    def test_comments_and_blanks_inside_data(self, tmp_path):
+        """Blank and %-comment lines are legal anywhere after the banner
+        — SuiteSparse files carry both — and must be skipped, not
+        mistaken for truncation."""
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% banner comment\n"
+            "\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "\n"
+            "% a comment between entries\n"
+            "2 2 2.0\n"
+            "\n"
+            "3 3 3.0\n"
+        )
+        m = read_mtx(path)
+        np.testing.assert_allclose(
+            np.diag(m.to_dense()), [1.0, 2.0, 3.0]
+        )
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = tmp_path / "w.mtx"
+        path.write_bytes(
+            b"%%MatrixMarket matrix coordinate real general\r\n"
+            b"% dos-style file\r\n"
+            b"2 2 2\r\n"
+            b"1 1 4.0\r\n"
+            b"\r\n"
+            b"2 2 5.0\r\n"
+        )
+        m = read_mtx(path)
+        np.testing.assert_allclose(np.diag(m.to_dense()), [4.0, 5.0])
+
+    def test_gzip_with_interleaved_comments(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "g.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(
+                "%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "\n% x\n2 2 2\n1 1\n\n2 1\n"
+            )
+        assert read_mtx(path).nnz == 3
+
+    def test_zero_nnz(self, tmp_path):
+        path = tmp_path / "z.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 4 0\n"
+        )
+        m = read_mtx(path)
+        assert m.n_rows == 3 and m.n_cols == 4 and m.nnz == 0
+
+    def test_eof_before_size_line(self, tmp_path):
+        path = tmp_path / "e.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n% only\n\n"
+        )
+        with pytest.raises(ValueError, match="truncated"):
+            read_mtx(path)
+
+    def test_malformed_size_line(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\nnot numbers\n"
+        )
+        with pytest.raises(ValueError, match="size line"):
+            read_mtx(path)
+
+    def test_missing_value_column_rejected(self, tmp_path):
+        path = tmp_path / "v.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        with pytest.raises(ValueError, match="columns"):
+            read_mtx(path)
+
 
 class TestCsv:
     def test_roundtrip_with_types(self, tmp_path):
