@@ -1,4 +1,20 @@
-"""Shim for environments without the `wheel` package (legacy editable installs)."""
+"""Shim for environments without the `wheel` package (legacy editable installs).
+
+The version is parsed out of ``src/repro/_version.py`` — the single
+authoritative place — so packaging never drifts from
+``repro.__version__`` and never has to import the package (which would
+require its runtime dependencies at build time).
+"""
+import re
+from pathlib import Path
+
 from setuptools import setup
 
-setup()
+_VERSION_FILE = Path(__file__).parent / "src" / "repro" / "_version.py"
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    _VERSION_FILE.read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(version=VERSION)

@@ -5,7 +5,7 @@ sparse-matrix generator driven by five structural features, a storage-format
 library, analytical-but-structure-aware device models for nine testbeds,
 and the full benchmark harness regenerating the paper's tables and figures.
 """
-__version__ = "1.0.0"
+from ._version import __version__
 
 from .core import (
     CSRMatrix, Features, MatrixSpec, Dataset,

@@ -1,0 +1,8 @@
+"""Single authoritative package version.
+
+``repro.__version__``, ``repro --version`` and ``setup.py`` all read
+this file (setup.py parses it textually so packaging never imports the
+package); bump the string here and nowhere else.
+"""
+
+__version__ = "1.1.0"

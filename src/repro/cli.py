@@ -12,6 +12,8 @@ Six subcommands wrap the library's main workflows::
     repro pack       cache_dir/ [--prune]     (or: repro pack t.npz)
     repro unpack     cache_dir/cache.rpak --out restored/
     repro ls         cache_dir/cache.rpak [--verify]
+    repro train      --table t.npz --device Tesla-A100 --out model.npz
+    repro serve      --table t.npz --selector model.npz --port 8077
 
 Every command prints human-readable tables; ``sweep`` persists the
 measurement table (``--format npz|csv|json``, default inferred from the
@@ -42,10 +44,16 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from ._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Feature-based SpMV performance analysis "
                     "(IPDPS 2023 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -229,10 +237,104 @@ def build_parser() -> argparse.ArgumentParser:
     ls.add_argument("pack", help=".rpak path")
     ls.add_argument("--verify", action="store_true",
                     help="also read every entry and check its checksum")
+
+    t = sub.add_parser(
+        "train",
+        help="fit a format selector from a saved sweep table and "
+             "persist it (shared by `repro serve`)",
+    )
+    t.add_argument("--table", required=True,
+                   help="per-format sweep table (`repro sweep "
+                        "--all-formats --out t.npz`) or packed table "
+                        "(.rpak)")
+    t.add_argument("--device", default=None,
+                   help="device slice to train on (required when the "
+                        "table spans several devices)")
+    t.add_argument("--formats", default=None,
+                   help="comma-separated candidate formats (default: "
+                        "the formats present in the slice)")
+    t.add_argument("--model", default="forest",
+                   choices=sorted(MODEL_FAMILIES))
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--out", required=True,
+                   help="selector artifact path (.npz)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve format-selection and sweep-slice queries over "
+             "HTTP (POST /select, GET /sweep|/healthz|/stats)",
+    )
+    srv.add_argument("--table", required=True,
+                     help="sweep corpus: saved table (.npz/.csv/.json) "
+                          "or packed table (.rpak)")
+    srv.add_argument("--selector", default=None,
+                     help="trained selector artifact (`repro train "
+                          "--out m.npz`); default: fit from the table "
+                          "at startup")
+    srv.add_argument("--device", default=None,
+                     help="device slice to fit on when training at "
+                          "startup (required for multi-device tables)")
+    srv.add_argument("--formats", default=None,
+                     help="comma-separated candidate formats for a "
+                          "startup fit")
+    srv.add_argument("--model", default="forest",
+                     choices=sorted(MODEL_FAMILIES),
+                     help="model family for a startup fit")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--save-selector", default=None, metavar="PATH",
+                     help="persist the startup-fitted selector so later "
+                          "boots can --selector it")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8077,
+                     help="listen port (0 picks a free one)")
+    srv.add_argument("--batch-window-ms", type=float, default=2.0,
+                     help="micro-batch coalescing window: concurrent "
+                          "/select requests arriving within this long "
+                          "of each other share one batched evaluate "
+                          "(responses are bit-identical either way)")
+    srv.add_argument("--max-batch", type=int, default=64,
+                     help="flush a micro-batch early at this size")
+    srv.add_argument("--micro-batch",
+                     action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="coalesce concurrent /select requests "
+                          "(default; --no-micro-batch evaluates each "
+                          "request on its own — same responses, lower "
+                          "throughput)")
+    srv.add_argument("--access-log", default="-", metavar="PATH",
+                     help="structured JSON request log: a path, '-' "
+                          "for stderr (default), or 'off'")
     return parser
 
 
 # ---------------------------------------------------------------------------
+def _prepare_output_path(path_str: str, what: str) -> None:
+    """Make ``path_str`` writable before hours of work depend on it.
+
+    Creates missing parent directories and probes writability ("a" so
+    an existing file is not truncated); unwritable paths raise the
+    CLI's actionable ``ValueError`` (exit 2) instead of surfacing a
+    raw traceback after the run has already burned its compute.
+    """
+    from pathlib import Path
+
+    path = Path(path_str)
+    try:
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        probe_created = not path.exists()
+        with open(path, "a"):
+            pass
+        if probe_created:
+            # Don't leave a stray empty file if the run later fails.
+            os.remove(path)
+    except OSError as exc:
+        raise ValueError(
+            f"cannot write {what} to {path_str!r}: {exc}; create the "
+            "directory or pick a writable path"
+        ) from exc
+
+
 def _cmd_generate(args) -> int:
     from .core.generator import artificial_matrix_generation
     from .io import write_mtx
@@ -312,8 +414,12 @@ def _cmd_sweep(args) -> int:
     from .pipeline import RunReport, resolve_jobs
     from pathlib import Path
 
-    # Fail on an unknown extension before minutes of sweeping.
+    # Fail on an unknown extension, a missing parent directory or an
+    # unwritable path before minutes of sweeping.
     _resolve_format(Path(args.out), args.table_format)
+    _prepare_output_path(args.out, "the sweep table")
+    if args.health_json:
+        _prepare_output_path(args.health_json, "the run report")
     if args.resume and args.run_dir and args.resume != args.run_dir:
         raise ValueError(
             "--resume already names the run directory; drop --run-dir "
@@ -630,6 +736,91 @@ def _cmd_ls(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    from .service import load_corpus, train_selector
+
+    _prepare_output_path(args.out, "the selector artifact")
+    if not args.out.endswith(".npz"):
+        raise ValueError(
+            f"unknown output extension for {args.out!r}; selector "
+            "artifacts are .npz files"
+        )
+    table = load_corpus(args.table)
+    formats = args.formats.split(",") if args.formats else None
+    selector = train_selector(
+        table, device=args.device, formats=formats,
+        model=args.model, seed=args.seed,
+    )
+    selector.to_npz(args.out)
+    n = len(table.unique("matrix")) if "matrix" in table.names else 0
+    print(
+        f"trained {args.model} selector on {n} matrices "
+        f"({len(table)} rows); formats: "
+        f"{', '.join(selector.formats)}"
+    )
+    print(f"wrote selector artifact to {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .ml.selector import FormatSelector
+    from .service import ReproService, ServiceApp, load_corpus, \
+        train_selector
+
+    table = load_corpus(args.table)
+    if args.selector:
+        selector = FormatSelector.from_npz(args.selector)
+        origin = f"selector from {args.selector}"
+    else:
+        formats = args.formats.split(",") if args.formats else None
+        selector = train_selector(
+            table, device=args.device, formats=formats,
+            model=args.model, seed=args.seed,
+        )
+        origin = f"selector fitted at startup ({args.model})"
+        if args.save_selector:
+            _prepare_output_path(
+                args.save_selector, "the selector artifact"
+            )
+            selector.to_npz(args.save_selector)
+            print(f"wrote selector artifact to {args.save_selector}")
+    access_log = None
+    log_handle = None
+    if args.access_log == "-":
+        access_log = sys.stderr
+    elif args.access_log != "off":
+        _prepare_output_path(args.access_log, "the access log")
+        log_handle = open(args.access_log, "a")
+        access_log = log_handle
+    app = ServiceApp(
+        selector, table,
+        micro_batch=args.micro_batch,
+        window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+    )
+    service = ReproService(
+        app, host=args.host, port=args.port, access_log=access_log
+    )
+    host, port = service.address
+    batching = (
+        f"micro-batch window={args.batch_window_ms}ms "
+        f"max={args.max_batch}"
+        if args.micro_batch else "micro-batch off"
+    )
+    print(
+        f"serving http://{host}:{port} — {len(table)} corpus rows, "
+        f"{origin}, {batching}"
+    )
+    print("endpoints: POST /select, GET /sweep, /healthz, /stats")
+    try:
+        service.run()  # returns after SIGTERM/SIGINT drain
+    finally:
+        if log_handle is not None:
+            log_handle.close()
+    print("drained and stopped")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "features": _cmd_features,
@@ -640,6 +831,8 @@ _COMMANDS = {
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
     "ls": _cmd_ls,
+    "train": _cmd_train,
+    "serve": _cmd_serve,
 }
 
 

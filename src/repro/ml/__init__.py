@@ -4,4 +4,7 @@ from .tree import DecisionTreeRegressor
 from .forest import RandomForestRegressor
 from .knn import KNeighborsRegressor
 from .metrics import mape_score, rmse, r2_score, train_test_split, kfold
-from .selector import FormatSelector, SelectionReport
+from .selector import (
+    FormatSelector, SelectionReport, SelectorVersionError,
+    SELECTOR_SCHEMA_VERSION,
+)

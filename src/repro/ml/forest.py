@@ -81,3 +81,30 @@ class RandomForestRegressor:
             out += tree.predict(X)
         out /= len(self.trees_)
         return out
+
+    def to_state(self) -> dict:
+        """Fitted state as a flat dict of arrays (one
+        ``tree/<t>/<field>`` entry per node array), the inverse of
+        :meth:`from_state`; a reloaded forest predicts bit-identically."""
+        if not self.trees_:
+            raise RuntimeError("model not fitted")
+        state = {"n_trees": np.int64(len(self.trees_))}
+        for t, tree in enumerate(self.trees_):
+            for field, arr in tree.to_arrays().items():
+                state[f"tree/{t}/{field}"] = arr
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomForestRegressor":
+        n_trees = int(state["n_trees"])
+        model = cls(n_estimators=max(n_trees, 1))
+        model.trees_ = [
+            DecisionTreeRegressor.from_arrays({
+                field: state[f"tree/{t}/{field}"]
+                for field in ("feature", "threshold", "left", "right",
+                              "value", "n_features")
+            })
+            for t in range(n_trees)
+        ]
+        model.n_estimators = n_trees
+        return model

@@ -70,3 +70,30 @@ class KNeighborsRegressor:
                 w = 1.0 / np.maximum(dist, 1e-12)
                 out[lo:lo + len(q)] = (ys * w).sum(axis=1) / w.sum(axis=1)
         return out
+
+    def to_state(self) -> dict:
+        """Fitted state as arrays (inverse of :meth:`from_state`); the
+        standardised training matrix round-trips exactly, so a reloaded
+        model predicts bit-identically."""
+        if self._X is None:
+            raise RuntimeError("model not fitted")
+        return {
+            "X": self._X,
+            "y": self._y,
+            "mu": self._mu,
+            "sd": self._sd,
+            "n_neighbors": np.int64(self.n_neighbors),
+            "weights": np.array(self.weights),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KNeighborsRegressor":
+        model = cls(
+            n_neighbors=int(state["n_neighbors"]),
+            weights=str(state["weights"]),
+        )
+        model._X = np.asarray(state["X"], dtype=np.float64)
+        model._y = np.asarray(state["y"], dtype=np.float64)
+        model._mu = np.asarray(state["mu"], dtype=np.float64)
+        model._sd = np.asarray(state["sd"], dtype=np.float64)
+        return model

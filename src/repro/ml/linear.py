@@ -56,6 +56,23 @@ class LinearRegression:
         # predicted together, which the selector's batch path relies on.
         return (X * self.coef_).sum(axis=1) + self.intercept_
 
+    def to_state(self) -> dict:
+        """Fitted state as arrays (inverse of :meth:`from_state`);
+        coefficients round-trip exactly."""
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        return {
+            "coef": np.asarray(self.coef_, dtype=np.float64),
+            "intercept": np.float64(self.intercept_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LinearRegression":
+        model = cls()
+        model.coef_ = np.asarray(state["coef"], dtype=np.float64)
+        model.intercept_ = float(state["intercept"])
+        return model
+
 
 class RidgeRegression(LinearRegression):
     """L2-regularised least squares (standardised features)."""

@@ -9,14 +9,39 @@ GFLOPS) pairs from a sweep; selection is the argmax of predicted GFLOPS.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.table import SweepTable
+from ..core.table import SweepTable, _write_npz
 from .forest import RandomForestRegressor
+from .knn import KNeighborsRegressor
+from .linear import LinearRegression, RidgeRegression
 
-__all__ = ["FormatSelector", "SelectionReport"]
+__all__ = [
+    "FormatSelector", "SelectionReport", "SelectorVersionError",
+    "SELECTOR_SCHEMA_VERSION",
+]
+
+SELECTOR_SCHEMA_VERSION = 1
+
+# Persistable model families (npz ``__kind__`` tag -> class).  A model
+# participates by exposing ``to_state() -> dict[str, ndarray]`` and
+# ``from_state(state)`` with bit-identical reloaded predictions.
+MODEL_IO: Dict[str, type] = {
+    "forest": RandomForestRegressor,
+    "knn": KNeighborsRegressor,
+    "linear": LinearRegression,
+    "ridge": RidgeRegression,
+}
+_KIND_OF = {cls: kind for kind, cls in MODEL_IO.items()}
+
+
+class SelectorVersionError(ValueError):
+    """A selector artifact from an incompatible schema version (the
+    :class:`~repro.core.table.SchemaVersionError` convention)."""
 
 MINIMAL_FEATURES = [
     "mem_footprint_mb",
@@ -410,3 +435,94 @@ class FormatSelector:
         if detail:
             report["choices"] = choices
         return report
+
+    # ------------------------------------------------------------------
+    def to_npz(self, path: Union[str, Path]) -> None:
+        """Persist the fitted selector as a lossless NPZ artifact.
+
+        The artifact records the schema version, the candidate formats,
+        the feature keys and every per-format model's fitted state
+        (:data:`MODEL_IO` families only); :meth:`from_npz` rebuilds a
+        selector whose predictions are bit-identical — the contract
+        that lets ``repro serve`` and ``repro experiment`` share one
+        trained model file.  The write is deterministic (pinned zip
+        timestamps, stable member order), like ``SweepTable.to_npz``.
+        """
+        if not self._models:
+            raise RuntimeError(
+                "selector not fitted; fit before saving"
+            )
+        payload: Dict[str, np.ndarray] = {
+            "__selector_schema__": np.int64(SELECTOR_SCHEMA_VERSION),
+            "formats": np.array(self.formats, dtype=np.str_),
+            "feature_keys": np.array(self.feature_keys, dtype=np.str_),
+        }
+        for i, fmt in enumerate(self.formats):
+            model = self._models[fmt]
+            kind = _KIND_OF.get(type(model))
+            if kind is None:
+                raise ValueError(
+                    f"cannot persist model {type(model).__name__!r} for "
+                    f"format {fmt!r}; persistable families: "
+                    f"{sorted(MODEL_IO)}"
+                )
+            payload[f"model/{i}/__kind__"] = np.array(kind)
+            for key, arr in model.to_state().items():
+                payload[f"model/{i}/{key}"] = np.asanyarray(arr)
+        with open(path, "wb") as fh:
+            _write_npz(fh, payload)
+
+    @classmethod
+    def from_npz(cls, path: Union[str, Path]) -> "FormatSelector":
+        """Load a selector saved by :meth:`to_npz`.
+
+        Raises :class:`SelectorVersionError` (a ``ValueError``) when the
+        file is not a selector artifact or was written by a different
+        schema version, with the retrain hint.
+        """
+        path = Path(path)
+        try:
+            data = np.load(path)
+        except (zipfile.BadZipFile, ValueError, EOFError) as exc:
+            # Not an npz at all: bad zip, numpy's pickle fallback on
+            # arbitrary bytes, or an empty file.
+            raise SelectorVersionError(
+                f"{path} is not a selector artifact ({exc}); save one "
+                "with FormatSelector.to_npz or `repro train --out`"
+            ) from exc
+        with data:
+            if "__selector_schema__" not in data:
+                raise SelectorVersionError(
+                    f"{path} is not a selector artifact (no "
+                    "__selector_schema__ entry); save one with "
+                    "FormatSelector.to_npz or `repro train --out`"
+                )
+            version = int(data["__selector_schema__"])
+            if version != SELECTOR_SCHEMA_VERSION:
+                raise SelectorVersionError(
+                    f"{path} was written with selector schema "
+                    f"version {version} but this build reads "
+                    f"version {SELECTOR_SCHEMA_VERSION}; retrain "
+                    "the artifact with `repro train`"
+                )
+            formats = [str(f) for f in data["formats"]]
+            feature_keys = [str(k) for k in data["feature_keys"]]
+            selector = cls(formats, feature_keys=feature_keys)
+            for i, fmt in enumerate(formats):
+                prefix = f"model/{i}/"
+                kind = str(data[prefix + "__kind__"])
+                family = MODEL_IO.get(kind)
+                if family is None:
+                    raise SelectorVersionError(
+                        f"{path} holds an unknown model kind "
+                        f"{kind!r} for format {fmt!r}; known "
+                        f"kinds: {sorted(MODEL_IO)}"
+                    )
+                state = {
+                    key[len(prefix):]: data[key]
+                    for key in data.files
+                    if key.startswith(prefix)
+                    and key != prefix + "__kind__"
+                }
+                selector._models[fmt] = family.from_state(state)
+            return selector

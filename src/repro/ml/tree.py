@@ -131,6 +131,7 @@ class DecisionTreeRegressor:
         self.random_state = random_state
         self.presort = presort
         self._root: Optional[_Node] = None
+        self._flat: Optional[dict] = None
         self.n_features_: int = 0
 
     def fit(self, X, y) -> "DecisionTreeRegressor":
@@ -139,6 +140,7 @@ class DecisionTreeRegressor:
         if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
             raise ValueError("bad training shapes")
         self.n_features_ = X.shape[1]
+        self._flat = None
         rng = np.random.default_rng(self.random_state)
         if self.presort:
             # One stable argsort per feature for the whole fit; nodes
@@ -236,13 +238,46 @@ class DecisionTreeRegressor:
         return node
 
     def predict(self, X) -> np.ndarray:
+        """Leaf values of the rows of ``X``.
+
+        Routing runs over the flattened node arrays (:meth:`to_arrays`):
+        at most ``depth`` vectorised steps regardless of batch width, so
+        a single-row query costs the same handful of NumPy calls as a
+        64-row micro-batch.  Every row takes exactly the comparisons the
+        node walk (:meth:`_predict_walk`, kept as the reference oracle)
+        would take and lands on the same leaf, so the outputs are
+        bit-identical for every batch size.
+        """
+        if self._root is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("bad predict shape")
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = self._flatten()
+        feature, threshold = flat["feature"], flat["threshold"]
+        left, right, value = flat["left"], flat["right"], flat["value"]
+        node = np.zeros(len(X), dtype=np.int64)
+        while True:
+            feat = feature[node]
+            live = feat >= 0  # internal nodes; leaves store -1
+            if not live.any():
+                break
+            rows = np.nonzero(live)[0]
+            at = node[rows]
+            go_left = X[rows, feat[rows]] <= threshold[at]
+            node[rows] = np.where(go_left, left[at], right[at])
+        return value[node]
+
+    def _predict_walk(self, X) -> np.ndarray:
+        """Node-object routing via index partitions (reference oracle)."""
         if self._root is None:
             raise RuntimeError("model not fitted")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.n_features_:
             raise ValueError("bad predict shape")
         out = np.empty(len(X), dtype=np.float64)
-        # Iterative routing, vectorised per node via index partitions.
         stack = [(self._root, np.arange(len(X)))]
         while stack:
             node, idx = stack.pop()
@@ -255,6 +290,86 @@ class DecisionTreeRegressor:
             stack.append((node.left, idx[mask]))
             stack.append((node.right, idx[~mask]))
         return out
+
+    # -- flattened node arrays (predict fast path + serialisation) -----
+    def _flatten(self) -> dict:
+        """Preorder node arrays: ``feature`` (-1 marks a leaf),
+        ``threshold``, ``left``/``right`` child indices, ``value``."""
+        feats: list = []
+        thr: list = []
+        left: list = []
+        right: list = []
+        value: list = []
+
+        def walk(node: _Node) -> int:
+            i = len(feats)
+            feats.append(node.feature if not node.is_leaf else -1)
+            thr.append(node.threshold)
+            left.append(-1)
+            right.append(-1)
+            value.append(node.value)
+            if not node.is_leaf:
+                left[i] = walk(node.left)
+                right[i] = walk(node.right)
+            return i
+
+        walk(self._root)
+        return {
+            "feature": np.array(feats, dtype=np.int64),
+            "threshold": np.array(thr, dtype=np.float64),
+            "left": np.array(left, dtype=np.int64),
+            "right": np.array(right, dtype=np.int64),
+            "value": np.array(value, dtype=np.float64),
+        }
+
+    def to_arrays(self) -> dict:
+        """Fitted state as plain arrays (``feature``/``threshold``/
+        ``left``/``right``/``value`` + ``n_features``), the inverse of
+        :meth:`from_arrays`; thresholds and leaf values round-trip
+        exactly, so a reloaded tree predicts bit-identically."""
+        if self._root is None:
+            raise RuntimeError("model not fitted")
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = self._flatten()
+        out = {k: v.copy() for k, v in flat.items()}
+        out["n_features"] = np.int64(self.n_features_)
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "DecisionTreeRegressor":
+        """Rebuild a fitted tree from :meth:`to_arrays` output."""
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=np.float64)
+        left = np.asarray(arrays["left"], dtype=np.int64)
+        right = np.asarray(arrays["right"], dtype=np.int64)
+        value = np.asarray(arrays["value"], dtype=np.float64)
+        n = len(feature)
+        if not n or any(
+            len(a) != n for a in (threshold, left, right, value)
+        ):
+            raise ValueError("inconsistent tree arrays")
+
+        def build(i: int) -> _Node:
+            if not 0 <= i < n:
+                raise ValueError(f"tree child index {i} out of range")
+            node = _Node(
+                feature=int(feature[i]), threshold=float(threshold[i]),
+                value=float(value[i]),
+            )
+            if feature[i] >= 0:
+                node.left = build(int(left[i]))
+                node.right = build(int(right[i]))
+            return node
+
+        tree = cls()
+        tree._root = build(0)
+        tree.n_features_ = int(arrays["n_features"])
+        tree._flat = {
+            "feature": feature, "threshold": threshold,
+            "left": left, "right": right, "value": value,
+        }
+        return tree
 
     def depth(self) -> int:
         """Realised depth of the fitted tree."""

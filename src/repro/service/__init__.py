@@ -1,0 +1,28 @@
+"""Long-running sweep/selector HTTP service (``repro serve``).
+
+The service is a thin, stdlib-only layer over the batched library
+paths: it loads a trained :class:`~repro.ml.FormatSelector` and a
+:class:`~repro.core.table.SweepTable` corpus once at startup, then
+serves format-selection queries (``POST /select``) through a
+micro-batching request coalescer and sweep-table slices
+(``GET /sweep``) straight from the loaded columns.  No modelling code
+lives here — every answer is produced by the same
+``select_batch``/``predict_gflops_batch``/``where`` calls a library
+caller would make, and single-request responses are bit-identical to
+the direct calls (see docs/service.md for the contract).
+"""
+
+from .app import BadRequest, ServiceApp, load_corpus, train_selector
+from .batcher import MicroBatcher
+from .http import ReproService
+from .stats import ServiceStats
+
+__all__ = [
+    "BadRequest",
+    "MicroBatcher",
+    "ReproService",
+    "ServiceApp",
+    "ServiceStats",
+    "load_corpus",
+    "train_selector",
+]

@@ -1,0 +1,273 @@
+"""Stdlib HTTP front end: ThreadingHTTPServer + graceful lifecycle.
+
+Endpoints
+---------
+``POST /select``   features or MatrixSpec -> chosen format + GFLOPS
+``GET  /sweep``    filtered slices of the loaded table (JSON/CSV)
+``GET  /healthz``  liveness + loaded-corpus summary
+``GET  /stats``    request counts, batch sizes, p50/p99 latency
+
+Shutdown is graceful: SIGTERM (and SIGINT under ``repro serve``) stops
+the accept loop, in-flight requests run to completion (handler threads
+are joined), the micro-batcher flushes its queue, and the process exits
+0.  Every request emits one structured JSON log line.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from datetime import datetime, timezone
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, TextIO, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from .._version import __version__
+from .app import BadRequest, ServiceApp
+
+__all__ = ["ReproService"]
+
+# Maximum accepted /select body; a feature dict is a few hundred bytes,
+# so anything larger is a client bug, rejected before allocation.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections drop after this long so a draining
+    # server's thread-join is bounded by seconds, not by clients that
+    # never hang up.
+    timeout = 5.0
+    # Status line, headers and body leave in separate small writes;
+    # without TCP_NODELAY, Nagle + delayed ACK turns that into ~40ms
+    # stalls per response on loopback keep-alive connections.
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass  # replaced by the structured per-request line
+
+    def _reply(self, status: int, body: bytes, ctype: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        if self.server.draining:  # type: ignore[attr-defined]
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, obj) -> None:
+        self._reply(
+            status, json.dumps(obj, sort_keys=True).encode(),
+            "application/json",
+        )
+
+    def _handle(self, endpoint: str, fn) -> None:
+        t0 = time.perf_counter()
+        status = 500
+        try:
+            status = fn()
+        except BrokenPipeError:
+            status = 499  # client went away mid-response
+        except BadRequest as exc:
+            status = 400
+            self._reply_json(status, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — must answer anyway
+            status = 500
+            self._reply_json(
+                status,
+                {"error": f"{type(exc).__name__}: {exc}"},
+            )
+        finally:
+            ms = (time.perf_counter() - t0) * 1000.0
+            self.app.stats.observe(
+                endpoint, ms, error=status >= 400
+            )
+            self.server.log_request_json({  # type: ignore[attr-defined]
+                "ts": datetime.now(timezone.utc).isoformat(),
+                "method": self.command,
+                "path": self.path,
+                "status": status,
+                "dur_ms": round(ms, 3),
+                "client": self.client_address[0],
+            })
+
+    # -- endpoints -----------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            def run() -> int:
+                self._reply_json(200, self.app.healthz())
+                return 200
+            self._handle("healthz", run)
+        elif url.path == "/stats":
+            def run() -> int:
+                self._reply_json(200, self.app.stats_snapshot())
+                return 200
+            self._handle("stats", run)
+        elif url.path == "/sweep":
+            def run() -> int:
+                params = dict(parse_qsl(url.query))
+                body, ctype = self.app.sweep_query(params)
+                self._reply(200, body, ctype)
+                return 200
+            self._handle("sweep", run)
+        else:
+            self._handle("unknown", self._not_found)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if urlsplit(self.path).path != "/select":
+            self._handle("unknown", self._not_found)
+            return
+
+        def run() -> int:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise BadRequest("empty body; POST a JSON object")
+            if length > MAX_BODY_BYTES:
+                raise BadRequest(
+                    f"body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                )
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise BadRequest(f"malformed JSON: {exc}") from exc
+            self._reply_json(200, self.app.select(payload))
+            return 200
+
+        self._handle("select", run)
+
+    def _not_found(self) -> int:
+        self._reply_json(404, {
+            "error": f"no such endpoint {self.path!r}",
+            "endpoints": [
+                "POST /select", "GET /sweep", "GET /healthz",
+                "GET /stats",
+            ],
+        })
+        return 404
+
+
+class _Server(ThreadingHTTPServer):
+    # Non-daemon handler threads + block_on_close: server_close() joins
+    # every in-flight request — the drain half of graceful shutdown.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    # The stdlib default backlog of 5 drops SYNs when a client fleet
+    # connects at once; the kernel retry then shows up as ~1s latency
+    # outliers on first contact.
+    request_queue_size = 128
+
+    def __init__(self, address, app: ServiceApp,
+                 access_log: Optional[TextIO]) -> None:
+        self.app = app
+        self.access_log = access_log
+        self.draining = False
+        self._log_lock = threading.Lock()
+        super().__init__(address, _Handler)
+
+    def log_request_json(self, record: dict) -> None:
+        if self.access_log is None:
+            return
+        line = json.dumps(record, sort_keys=True)
+        with self._log_lock:
+            try:
+                self.access_log.write(line + "\n")
+                self.access_log.flush()
+            except ValueError:
+                pass  # log stream already closed during teardown
+
+
+class ReproService:
+    """Service lifecycle: bind, serve, drain.
+
+    ``start()`` serves from a background thread (tests, benches);
+    ``run()`` serves in the calling thread with signal-driven graceful
+    shutdown (the ``repro serve`` foreground path).  Both finish by
+    draining: stop accepting, join in-flight handlers, flush and stop
+    the batcher.
+    """
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        access_log: Optional[TextIO] = None,
+    ) -> None:
+        self.app = app
+        self._server = _Server((host, port), app, access_log)
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` — port 0 resolves at bind time."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- background mode (tests, benches) ------------------------------
+    def start(self) -> "ReproService":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-accept", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain, callable from any thread; idempotent."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._server.draining = True
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+        self._server.server_close()  # joins in-flight handlers
+        self.app.close()             # flushes the micro-batcher
+
+    # -- foreground mode (repro serve) ---------------------------------
+    def run(self, handle_signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        """Serve until a signal arrives, then drain and return."""
+        previous = {}
+
+        def request_shutdown(signum, frame):
+            # shutdown() must not run on the serve_forever thread, and
+            # a signal handler does: hand it to a helper thread.
+            self._server.draining = True
+            threading.Thread(
+                target=self._server.shutdown, daemon=True
+            ).start()
+
+        for signum in handle_signals:
+            previous[signum] = signal.signal(signum, request_shutdown)
+        try:
+            self._server.serve_forever()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self._stopped.set()
+            self._server.server_close()
+            self.app.close()
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,182 @@
+"""MicroBatcher unit tests: coalescing, demux, errors, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import MicroBatcher
+
+
+class _Recorder:
+    """evaluate() stub that records every batch it receives."""
+
+    def __init__(self, fn=None, delay=0.0):
+        self.batches = []
+        self.lock = threading.Lock()
+        self.fn = fn or (lambda item: item * 10)
+        self.delay = delay
+
+    def __call__(self, items):
+        with self.lock:
+            self.batches.append(list(items))
+        if self.delay:
+            time.sleep(self.delay)
+        return [self.fn(item) for item in items]
+
+
+def _submit_concurrently(batcher, items):
+    """Fire one submit() per thread; return results in item order."""
+    results = [None] * len(items)
+    errors = []
+
+    def worker(i, item):
+        try:
+            results[i] = batcher.submit(item)
+        except BaseException as exc:  # noqa: BLE001 — collected
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, item))
+        for i, item in enumerate(items)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+class TestValidation:
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError, match="window_s"):
+            MicroBatcher(lambda items: items, window_s=-1)
+
+    def test_rejects_zero_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda items: items, max_batch=0)
+
+
+class TestCoalescing:
+    def test_single_submit_returns_its_result(self):
+        evaluate = _Recorder()
+        batcher = MicroBatcher(evaluate, window_s=0.001)
+        try:
+            assert batcher.submit(7) == 70
+        finally:
+            batcher.close()
+        assert evaluate.batches == [[7]]
+
+    def test_concurrent_submits_coalesce_and_demux(self):
+        evaluate = _Recorder()
+        # A wide window so everything the threads queue lands in one
+        # flush; the assertion is on demux order, not on timing.
+        batcher = MicroBatcher(evaluate, window_s=0.2, max_batch=64)
+        try:
+            items = list(range(16))
+            results, errors = _submit_concurrently(batcher, items)
+        finally:
+            batcher.close()
+        assert not errors
+        assert results == [item * 10 for item in items]
+        assert sum(len(b) for b in evaluate.batches) == 16
+        assert len(evaluate.batches) < 16  # actually coalesced
+
+    def test_max_batch_caps_flush_size(self):
+        evaluate = _Recorder()
+        batcher = MicroBatcher(evaluate, window_s=0.2, max_batch=4)
+        try:
+            results, errors = _submit_concurrently(
+                batcher, list(range(10))
+            )
+        finally:
+            batcher.close()
+        assert not errors
+        assert sorted(results) == [item * 10 for item in range(10)]
+        assert max(len(b) for b in evaluate.batches) <= 4
+
+    def test_zero_window_flushes_immediately(self):
+        evaluate = _Recorder()
+        batcher = MicroBatcher(evaluate, window_s=0.0)
+        try:
+            assert batcher.submit(3) == 30
+            assert batcher.submit(4) == 40
+        finally:
+            batcher.close()
+
+
+class TestErrors:
+    def test_evaluate_exception_reaches_every_waiter(self):
+        def boom(items):
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(boom, window_s=0.2)
+        try:
+            results, errors = _submit_concurrently(
+                batcher, list(range(5))
+            )
+        finally:
+            batcher.close()
+        assert results == [None] * 5
+        assert len(errors) == 5
+        assert all("model exploded" in str(e) for e in errors)
+
+    def test_wrong_result_count_is_an_error(self):
+        batcher = MicroBatcher(lambda items: [], window_s=0.0)
+        try:
+            with pytest.raises(RuntimeError, match="0 results"):
+                batcher.submit(1)
+        finally:
+            batcher.close()
+
+
+class TestLifecycle:
+    def test_close_drains_queued_work(self):
+        evaluate = _Recorder(delay=0.02)
+        batcher = MicroBatcher(evaluate, window_s=0.2, max_batch=2)
+        results, errors = [], []
+
+        def worker(item):
+            try:
+                results.append(batcher.submit(item))
+            except BaseException as exc:  # noqa: BLE001 — collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)  # let the submits queue up inside the window
+        batcher.close()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sorted(results) == [i * 10 for i in range(6)]
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda items: list(items))
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda items: list(items))
+        batcher.close()
+        batcher.close()
+
+    def test_records_batch_sizes(self):
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+        batcher = MicroBatcher(
+            lambda items: list(items), window_s=0.0, stats=stats
+        )
+        try:
+            batcher.submit(1)
+            batcher.submit(2)
+        finally:
+            batcher.close()
+        snap = stats.snapshot()["batcher"]
+        assert snap["flushes"] == 2
+        assert snap["requests"] == 2
